@@ -1,0 +1,163 @@
+// Command snnmap maps one SNN workload onto neuromorphic hardware and
+// reports the placement quality metrics, optionally cross-checking with the
+// spike-level NoC simulator, rendering placement/congestion views, and
+// exporting artifacts.
+//
+// Usage:
+//
+//	snnmap -workload LeNet-MNIST
+//	snnmap -workload ResNet -method Proposed -budget 1m
+//	snnmap -workload CNN_16M -method TrueNorth
+//	snnmap -workload LeNet-MNIST -sim -render -multicast
+//	snnmap -workload MobileNet -save-placement mobilenet.plc -export-dot mobilenet.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"snnmap/internal/codec"
+	"snnmap/internal/expt"
+	"snnmap/internal/hw"
+	"snnmap/internal/metrics"
+	"snnmap/internal/noc"
+	"snnmap/internal/pcn"
+	"snnmap/internal/snn"
+	"snnmap/internal/viz"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "LeNet-MNIST", "Table 3 workload name ("+strings.Join(expt.WorkloadNames(), ", ")+")")
+		netFile   = flag.String("net", "", "JSON workload description file (overrides -workload; see internal/codec net schema)")
+		method    = flag.String("method", "Proposed", "mapping method (Random, TrueNorth, DFSynthesizer, PSO, PACMAN, Annealing, Proposed, HSC, ZigZag, Circle, ...)")
+		seed      = flag.Int64("seed", 1, "seed for randomized methods")
+		budget    = flag.Duration("budget", time.Minute, "wall-clock budget (0 = unlimited)")
+		sim       = flag.Bool("sim", false, "replay the traffic through the NoC simulator (small workloads)")
+		render    = flag.Bool("render", false, "render the layer map and congestion heatmap (small meshes)")
+		multicast = flag.Bool("multicast", false, "also evaluate the multicast tree-routing energy model")
+		savePCN   = flag.String("save-pcn", "", "write the partitioned cluster network (binary) to this file")
+		savePlace = flag.String("save-placement", "", "write the placement (binary) to this file")
+		exportDot = flag.String("export-dot", "", "write the PCN as Graphviz DOT to this file")
+		exportCSV = flag.String("export-csv", "", "write the placement as CSV to this file")
+	)
+	flag.Parse()
+
+	var (
+		p    *pcn.PCN
+		mesh hw.Mesh
+		net  *snn.Net
+	)
+	if *netFile != "" {
+		f, err := os.Open(*netFile)
+		if err != nil {
+			fatal(err)
+		}
+		net, err = codec.ReadNetJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if p, err = pcn.Expand(net, pcn.DefaultPartition()); err != nil {
+			fatal(err)
+		}
+		mesh = expt.MeshFor(p.NumClusters)
+	} else {
+		wl, err := expt.WorkloadByName(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		if p, mesh, err = wl.Build(); err != nil {
+			fatal(err)
+		}
+		net = wl.Net()
+	}
+	fmt.Printf("%s: %d neurons, %d synapses → %d clusters, %d connections on %v\n",
+		net.Name, net.NumNeurons(), net.NumSynapses(), p.NumClusters, p.NumEdges(), mesh)
+
+	m, err := expt.MethodByName(*method)
+	if err != nil {
+		fatal(err)
+	}
+	pl, stats, err := m.Run(p, mesh, expt.RunOptions{Seed: *seed, Budget: *budget})
+	if err != nil {
+		fatal(err)
+	}
+	es := ""
+	if stats.EarlyStopped {
+		es = " (early stop)"
+	}
+	fmt.Printf("%s mapped in %v%s\n", m.Name, stats.Elapsed, es)
+
+	cost := hw.DefaultCostModel()
+	sum := metrics.Evaluate(p, pl, cost, metrics.Options{})
+	fmt.Printf("metrics: %s\n", sum)
+
+	if *multicast {
+		mc := metrics.MulticastEnergy(p, pl, cost)
+		fmt.Printf("multicast: energy=%.4g (unicast %.4g, saving %.1f%%)\n",
+			mc.Energy, mc.UnicastEnergy, 100*mc.Saving())
+	}
+
+	if *sim {
+		res, err := noc.Simulate(p, pl, noc.Config{SpikesPerUnit: simScale(p.TotalWeight())})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("NoC simulation: %d spikes delivered in %d cycles; energy=%.4g avgLat=%.2f cycles maxLat=%d avgHops=%.2f maxQueue=%d\n",
+			res.Delivered, res.Cycles, res.Energy, res.AvgLatencyCycles, res.MaxLatencyCycles, res.AvgHops, res.MaxQueueLen)
+	}
+
+	if *render {
+		if mesh.Cores() > 10000 {
+			fmt.Fprintln(os.Stderr, "snnmap: mesh too large to render; skipping")
+		} else {
+			fmt.Println("\nlayer map (which layer occupies each core):")
+			if err := viz.LayerMap(os.Stdout, p, pl); err != nil {
+				fatal(err)
+			}
+			fmt.Println("\ncongestion heatmap (Eq. 13):")
+			grid := metrics.CongestionGrid(p, pl, 1)
+			if err := viz.Heatmap(os.Stdout, grid, mesh.Rows, mesh.Cols); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	writeFile(*savePCN, func(f *os.File) error { return codec.WritePCN(f, p) })
+	writeFile(*savePlace, func(f *os.File) error { return codec.WritePlacement(f, pl) })
+	writeFile(*exportDot, func(f *os.File) error { return codec.WriteDOT(f, p, 0) })
+	writeFile(*exportCSV, func(f *os.File) error { return codec.WritePlacementCSV(f, pl) })
+}
+
+// simScale picks a spikes-per-unit factor that keeps simulations below
+// roughly one million spikes.
+func simScale(totalWeight float64) float64 {
+	if totalWeight <= 1_000_000 {
+		return 1
+	}
+	return 1_000_000 / totalWeight
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snnmap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module snnmap
+
+go 1.22

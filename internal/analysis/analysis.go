@@ -1,0 +1,153 @@
+// Package analysis implements the statistical study of §4.3 (Figure 6):
+// distance heatmaps of space-filling curves, SNN connection images, the
+// curve cost measure obtained by masking one with the other, and the
+// probability-cloud ensemble that compares curves on arbitrary unknown SNNs.
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snnmap/internal/curve"
+	"snnmap/internal/geom"
+	"snnmap/internal/pcn"
+	"snnmap/internal/snn"
+)
+
+// DistanceHeatmap returns the (n·m)×(n·m) matrix whose (i, j) entry is the
+// Manhattan distance between the mesh positions of sequence indices i and j
+// under the curve (Figure 6.b), flattened row-major. Intended for small
+// meshes (the figure uses 8×8); it refuses sizes whose heatmap would exceed
+// 64 M entries.
+func DistanceHeatmap(c curve.Curve, n, m int) ([]int32, error) {
+	total := n * m
+	if total > 8192 {
+		return nil, fmt.Errorf("analysis: heatmap for %d×%d mesh would need %d entries", n, m, total*total)
+	}
+	pts := c.Points(n, m)
+	h := make([]int32, total*total)
+	for i := 0; i < total; i++ {
+		for j := 0; j < total; j++ {
+			h[i*total+j] = int32(geom.Manhattan(pts[i], pts[j]))
+		}
+	}
+	return h, nil
+}
+
+// GraphCost is the Figure 6.d cost: lay neuron i at the curve's i-th mesh
+// position and sum w·distance over every synapse — equivalently, mask the
+// distance heatmap with the connection image and sum the covered values.
+// The graph must fit the mesh.
+func GraphCost(c curve.Curve, g *snn.Graph, n, m int) (float64, error) {
+	if g.NumNeurons > n*m {
+		return 0, fmt.Errorf("analysis: %d neurons exceed %d×%d mesh", g.NumNeurons, n, m)
+	}
+	pts := c.Points(n, m)
+	var cost float64
+	for i := 0; i < g.NumNeurons; i++ {
+		tos, ws := g.OutEdges(i)
+		for k, to := range tos {
+			cost += ws[k] * float64(geom.Manhattan(pts[i], pts[to]))
+		}
+	}
+	return cost, nil
+}
+
+// PCNCost is GraphCost at cluster granularity: clusters are laid along the
+// curve in index order and the weighted distance of every PCN edge is
+// summed.
+func PCNCost(c curve.Curve, p *pcn.PCN, n, m int) (float64, error) {
+	if p.NumClusters > n*m {
+		return 0, fmt.Errorf("analysis: %d clusters exceed %d×%d mesh", p.NumClusters, n, m)
+	}
+	pts := c.Points(n, m)
+	var cost float64
+	for i := 0; i < p.NumClusters; i++ {
+		tos, ws := p.OutEdges(i)
+		for k, to := range tos {
+			cost += ws[k] * float64(geom.Manhattan(pts[i], pts[to]))
+		}
+	}
+	return cost, nil
+}
+
+// CloudConfig parameterizes the probability cloud of Figure 6.e: an
+// ensemble of random SNN connection images with the locality structure of
+// real applications.
+type CloudConfig struct {
+	// MeshN and MeshM give the mesh (8×8 in the figure).
+	MeshN, MeshM int
+	// Samples is the ensemble size (default 100).
+	Samples int
+	// AvgDegree, LocalityBand and LongRangeFrac parameterize each random
+	// SNN (see snn.RandomConfig); zero values mean degree 8, band 0.15,
+	// long-range 0.05.
+	AvgDegree     float64
+	LocalityBand  float64
+	LongRangeFrac float64
+}
+
+func (c CloudConfig) withDefaults() CloudConfig {
+	if c.MeshN == 0 {
+		c.MeshN = 8
+	}
+	if c.MeshM == 0 {
+		c.MeshM = 8
+	}
+	if c.Samples <= 0 {
+		c.Samples = 100
+	}
+	if c.AvgDegree <= 0 {
+		c.AvgDegree = 8
+	}
+	if c.LocalityBand <= 0 {
+		c.LocalityBand = 0.15
+	}
+	if c.LongRangeFrac <= 0 {
+		c.LongRangeFrac = 0.05
+	}
+	return c
+}
+
+// CloudCost averages the Figure 6.d cost of each curve over the random
+// ensemble and returns the per-curve means, keyed by curve name.
+func CloudCost(cfg CloudConfig, curves []curve.Curve, rng *rand.Rand) (map[string]float64, error) {
+	cfg = cfg.withDefaults()
+	sums := make(map[string]float64, len(curves))
+	for s := 0; s < cfg.Samples; s++ {
+		g, err := snn.RandomGraph(snn.RandomConfig{
+			Neurons:       cfg.MeshN * cfg.MeshM,
+			AvgDegree:     cfg.AvgDegree,
+			LocalityBand:  cfg.LocalityBand,
+			LongRangeFrac: cfg.LongRangeFrac,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range curves {
+			cost, err := GraphCost(c, g, cfg.MeshN, cfg.MeshM)
+			if err != nil {
+				return nil, err
+			}
+			sums[c.Name()] += cost
+		}
+	}
+	for name := range sums {
+		sums[name] /= float64(cfg.Samples)
+	}
+	return sums, nil
+}
+
+// Normalize divides every entry by the reference entry (Hilbert in the
+// paper's Figure 6.e, which reports Hilbert=1.0, ZigZag=2.63, Circle=6.33).
+func Normalize(costs map[string]float64, reference string) (map[string]float64, error) {
+	ref, ok := costs[reference]
+	if !ok || ref == 0 {
+		return nil, fmt.Errorf("analysis: reference curve %q missing or zero", reference)
+	}
+	out := make(map[string]float64, len(costs))
+	for name, v := range costs {
+		out[name] = v / ref
+	}
+	return out, nil
+}

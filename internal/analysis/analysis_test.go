@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"snnmap/internal/curve"
+	"snnmap/internal/pcn"
+	"snnmap/internal/snn"
+)
+
+func TestDistanceHeatmapBasics(t *testing.T) {
+	h, err := DistanceHeatmap(curve.ZigZag{}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 16 {
+		t.Fatalf("heatmap size %d, want 16", len(h))
+	}
+	total := 4
+	for i := 0; i < total; i++ {
+		if h[i*total+i] != 0 {
+			t.Errorf("diagonal (%d,%d) = %d, want 0", i, i, h[i*total+i])
+		}
+		for j := 0; j < total; j++ {
+			if h[i*total+j] != h[j*total+i] {
+				t.Errorf("heatmap not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// ZigZag 2x2 order: (0,0),(0,1),(1,1),(1,0); dist(seq0, seq3) = 1.
+	if h[3] != 1 {
+		t.Errorf("h[0][3] = %d, want 1", h[3])
+	}
+	// Consecutive indices are adjacent for the snake scan.
+	for i := 0; i < 3; i++ {
+		if h[i*total+i+1] != 1 {
+			t.Errorf("consecutive distance = %d, want 1", h[i*total+i+1])
+		}
+	}
+}
+
+func TestDistanceHeatmapSizeCap(t *testing.T) {
+	if _, err := DistanceHeatmap(curve.Hilbert{}, 128, 128); err == nil {
+		t.Error("oversized heatmap must fail")
+	}
+}
+
+func TestGraphCostHandChecked(t *testing.T) {
+	// Chain of 4 neurons on a 2x2 ZigZag: positions (0,0),(0,1),(1,1),(1,0);
+	// chain edges all distance 1 → cost = 3.
+	var b snn.GraphBuilder
+	b.AddNeurons(4, -1)
+	b.AddSynapse(0, 1, 1)
+	b.AddSynapse(1, 2, 1)
+	b.AddSynapse(2, 3, 1)
+	g := b.Build()
+	cost, err := GraphCost(curve.ZigZag{}, g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 3 {
+		t.Errorf("cost = %g, want 3", cost)
+	}
+	// Weights scale linearly.
+	var b2 snn.GraphBuilder
+	b2.AddNeurons(4, -1)
+	b2.AddSynapse(0, 3, 2) // seq 0 → seq 3: distance 1, weight 2
+	cost, err = GraphCost(curve.ZigZag{}, b2.Build(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 {
+		t.Errorf("weighted cost = %g, want 2", cost)
+	}
+}
+
+func TestGraphCostOverflow(t *testing.T) {
+	var b snn.GraphBuilder
+	b.AddNeurons(5, -1)
+	if _, err := GraphCost(curve.Hilbert{}, b.Build(), 2, 2); err == nil {
+		t.Error("5 neurons on 4 cells must fail")
+	}
+}
+
+func TestPCNCost(t *testing.T) {
+	g := snn.FullyConnected(2, 2)
+	res, err := pcn.Partition(g, pcn.DefaultPartition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With CON_npc=4096 the whole net is 1 cluster... use explicit config.
+	if res.PCN.NumClusters == 1 {
+		c, err := PCNCost(curve.Hilbert{}, res.PCN, 2, 2)
+		if err != nil || c != 0 {
+			t.Fatalf("single-cluster cost = %g err %v", c, err)
+		}
+	}
+}
+
+func TestCloudCostOrdersCurves(t *testing.T) {
+	// The §4.3 result: averaged over random local SNNs, Hilbert < ZigZag <
+	// Circle (paper: 1.0 / 2.63 / 6.33).
+	rng := rand.New(rand.NewSource(1))
+	curves := []curve.Curve{curve.Hilbert{}, curve.ZigZag{}, curve.Circle{}}
+	costs, err := CloudCost(CloudConfig{Samples: 60}, curves, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := Normalize(costs, "hilbert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm["hilbert"] != 1 {
+		t.Errorf("hilbert = %g, want 1", norm["hilbert"])
+	}
+	if !(norm["zigzag"] > 1.2) {
+		t.Errorf("zigzag = %g, want clearly above hilbert", norm["zigzag"])
+	}
+	if !(norm["circle"] > norm["zigzag"]) {
+		t.Errorf("circle = %g, zigzag = %g: paper order violated", norm["circle"], norm["zigzag"])
+	}
+}
+
+func TestCloudCostDeterminism(t *testing.T) {
+	curves := []curve.Curve{curve.Hilbert{}, curve.ZigZag{}}
+	a, err := CloudCost(CloudConfig{Samples: 10}, curves, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CloudCost(CloudConfig{Samples: 10}, curves, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatal("cloud cost must be deterministic per seed")
+		}
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	if _, err := Normalize(map[string]float64{"a": 1}, "b"); err == nil {
+		t.Error("missing reference must fail")
+	}
+	if _, err := Normalize(map[string]float64{"a": 0}, "a"); err == nil {
+		t.Error("zero reference must fail")
+	}
+}

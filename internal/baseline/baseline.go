@@ -1,0 +1,115 @@
+// Package baseline implements the comparison approaches of §5.1.3, built
+// from scratch against the same PCN/placement substrate as the proposed
+// method: random mapping, the TrueNorth layer-by-layer heuristic (Sawada et
+// al.), DFSynthesizer's iterative swap search (Song et al.), and the
+// binarized Particle Swarm Optimization used by SpiNeMap/PyCARL/Song.
+//
+// All methods accept a wall-clock budget mirroring the paper's 100-hour
+// early-stop protocol (scaled to this machine), and report whether they were
+// stopped early.
+package baseline
+
+import (
+	"math/rand"
+	"time"
+
+	"snnmap/internal/geom"
+	"snnmap/internal/hw"
+	"snnmap/internal/pcn"
+	"snnmap/internal/place"
+)
+
+// Options configures a baseline run.
+type Options struct {
+	// Seed drives all randomized decisions; runs are deterministic per seed.
+	Seed int64
+	// Budget caps wall-clock time; zero means no cap. A method that hits
+	// the cap returns its best placement so far with EarlyStopped set.
+	Budget time.Duration
+	// Cost is the energy model used by objective functions; zero value
+	// means hw.DefaultCostModel().
+	Cost hw.CostModel
+	// Iterations overrides the method's default iteration count (PSO
+	// generations or DFSynthesizer swap attempts per cluster). Zero keeps
+	// the default.
+	Iterations int
+	// Particles overrides the PSO swarm size (default 20).
+	Particles int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cost == (hw.CostModel{}) {
+		o.Cost = hw.DefaultCostModel()
+	}
+	if o.Particles <= 0 {
+		o.Particles = 20
+	}
+	return o
+}
+
+// Stats reports what a baseline run did.
+type Stats struct {
+	// Elapsed is the algorithm execution time (§5.1.4).
+	Elapsed time.Duration
+	// EarlyStopped reports that the budget expired before convergence
+	// (rendered "ES" in the paper's Figures 9-12).
+	EarlyStopped bool
+	// Evaluations counts objective evaluations (full or incremental).
+	Evaluations int64
+	// Moves counts accepted placement changes.
+	Moves int64
+}
+
+// Random places clusters uniformly at random: the paper's baseline that all
+// Figure 8/10-12 metrics are normalized against.
+func Random(p *pcn.PCN, mesh hw.Mesh, opts Options) (*place.Placement, Stats, error) {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	pl, err := place.Random(p.NumClusters, mesh, rng)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return pl, Stats{Elapsed: time.Since(start)}, nil
+}
+
+// placementEnergy computes the M_ec objective (Eq. 9) directly from the
+// directed PCN, used as the fitness function by DFSynthesizer and PSO.
+func placementEnergy(p *pcn.PCN, pl *place.Placement, cost hw.CostModel) float64 {
+	var total float64
+	for c := 0; c < p.NumClusters; c++ {
+		src := pl.Of(c)
+		tos, ws := p.OutEdges(c)
+		for k, to := range tos {
+			total += ws[k] * cost.SpikeEnergy(geom.Manhattan(src, pl.Of(int(to))))
+		}
+	}
+	return total
+}
+
+// swapEnergyDelta returns the change of M_ec caused by exchanging the
+// contents of cores a and b (either may be empty). Negative is better. Any
+// mutual edge between the two swapped clusters keeps its length and cancels.
+func swapEnergyDelta(p *pcn.PCN, pl *place.Placement, cost hw.CostModel, a, b int32) float64 {
+	und := p.Undirected()
+	ca, cb := pl.ClusterAt[a], pl.ClusterAt[b]
+	pa, pb := pl.Mesh.Coord(int(a)), pl.Mesh.Coord(int(b))
+	var delta float64
+	moveCost := func(c, other int32, from, to geom.Point) {
+		tos, ws := und.Neighbors(int(c))
+		for k, t := range tos {
+			if t == other {
+				continue
+			}
+			pk := pl.Of(int(t))
+			delta += ws[k] * (cost.SpikeEnergy(geom.Manhattan(to, pk)) -
+				cost.SpikeEnergy(geom.Manhattan(from, pk)))
+		}
+	}
+	if ca != place.None {
+		moveCost(ca, cb, pa, pb)
+	}
+	if cb != place.None {
+		moveCost(cb, ca, pb, pa)
+	}
+	return delta
+}

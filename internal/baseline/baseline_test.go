@@ -1,0 +1,283 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"snnmap/internal/geom"
+	"snnmap/internal/hw"
+	"snnmap/internal/pcn"
+	"snnmap/internal/snn"
+)
+
+func layeredPCN(t *testing.T, layers, width, perCluster int) *pcn.PCN {
+	t.Helper()
+	g := snn.FullyConnected(layers, width)
+	res, err := pcn.Partition(g, pcn.PartitionConfig{
+		Constraints:   hw.Constraints{NeuronsPerCore: perCluster},
+		SplitAtLayers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.PCN
+}
+
+func randomPCN(t *testing.T, seed int64, n, e int) *pcn.PCN {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var b snn.GraphBuilder
+	b.AddNeurons(n, -1)
+	for i := 0; i < e; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddSynapse(u, v, float64(rng.Intn(5)+1))
+		}
+	}
+	res, err := pcn.Partition(b.Build(), pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.PCN
+}
+
+func TestRandomBaselineValidAndDeterministic(t *testing.T) {
+	p := randomPCN(t, 1, 20, 100)
+	mesh := hw.MustMesh(5, 5)
+	a, _, err := Random(p, mesh, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Random(p, mesh, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PosOf {
+		if a.PosOf[i] != b.PosOf[i] {
+			t.Fatal("same seed must give identical placements")
+		}
+	}
+}
+
+func TestPlacementEnergyMatchesDefinition(t *testing.T) {
+	p := randomPCN(t, 5, 10, 40)
+	mesh := hw.MustMesh(4, 4)
+	pl, _, err := Random(p, mesh, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := hw.DefaultCostModel()
+	var want float64
+	for c := 0; c < p.NumClusters; c++ {
+		tos, ws := p.OutEdges(c)
+		for k, to := range tos {
+			d := geom.Manhattan(pl.Of(c), pl.Of(int(to)))
+			want += ws[k] * (float64(d+1)*cost.RouterEnergy + float64(d)*cost.WireEnergy)
+		}
+	}
+	if got := placementEnergy(p, pl, cost); math.Abs(got-want) > 1e-9 {
+		t.Errorf("energy %g, want %g", got, want)
+	}
+}
+
+func TestSwapEnergyDeltaMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, ai, bi uint8) bool {
+		p := randomPCN(t, seed, 12, 60)
+		mesh := hw.MustMesh(4, 4)
+		pl, _, err := Random(p, mesh, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		cost := hw.DefaultCostModel()
+		a := int32(int(ai) % mesh.Cores())
+		b := int32(int(bi) % mesh.Cores())
+		if a == b {
+			return true
+		}
+		before := placementEnergy(p, pl, cost)
+		delta := swapEnergyDelta(p, pl, cost, a, b)
+		pl.SwapCores(a, b)
+		after := placementEnergy(p, pl, cost)
+		return math.Abs((after-before)-delta) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrueNorthPlacesLayerByLayer(t *testing.T) {
+	p := layeredPCN(t, 4, 6, 2) // 4 layers × 3 clusters
+	mesh := hw.MustMesh(4, 4)
+	pl, stats, err := TrueNorth(p, mesh, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.EarlyStopped {
+		t.Error("tiny workload must not early-stop")
+	}
+	// Input layer clusters at predefined (row-major) positions.
+	for c := 0; c < 3; c++ {
+		if pl.PosOf[c] != int32(c) {
+			t.Errorf("input cluster %d at %d, want %d", c, pl.PosOf[c], c)
+		}
+	}
+}
+
+func TestTrueNorthBeatsRandomOnLayeredNets(t *testing.T) {
+	p := layeredPCN(t, 6, 8, 2)
+	side := 1
+	for side*side < p.NumClusters {
+		side++
+	}
+	mesh := hw.MustMesh(side, side)
+	cost := hw.DefaultCostModel()
+	tn, _, err := TrueNorth(p, mesh, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, _, err := Random(p, mesh, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placementEnergy(p, tn, cost) >= placementEnergy(p, rd, cost) {
+		t.Error("TrueNorth should beat random placement on a layered net")
+	}
+}
+
+func TestTrueNorthBudgetEarlyStop(t *testing.T) {
+	p := layeredPCN(t, 10, 64, 1) // 640 clusters
+	mesh := hw.MustMesh(26, 26)
+	pl, stats, err := TrueNorth(p, mesh, Options{Budget: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.EarlyStopped {
+		t.Error("nanosecond budget must early-stop")
+	}
+	if err := pl.Validate(); err != nil {
+		t.Error("early-stopped placement must still be complete:", err)
+	}
+}
+
+func TestFillAxisCostMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size%20) + 2
+		pts := make([]weightedCoord, rng.Intn(8)+1)
+		for i := range pts {
+			pts[i] = weightedCoord{v: rng.Intn(n), w: float64(rng.Intn(9) + 1)}
+		}
+		cost := make([]float64, n)
+		fillAxisCost(cost, append([]weightedCoord(nil), pts...))
+		for i := 0; i < n; i++ {
+			var want float64
+			for _, p := range pts {
+				want += p.w * math.Abs(float64(i-p.v))
+			}
+			if math.Abs(cost[i]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDFSynthesizerImprovesEnergy(t *testing.T) {
+	p := randomPCN(t, 9, 30, 300)
+	mesh := hw.MustMesh(6, 6)
+	cost := hw.DefaultCostModel()
+	rd, _, err := Random(p, mesh, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, stats, err := DFSynthesizer(p, mesh, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := df.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Moves == 0 {
+		t.Error("expected at least one accepted swap")
+	}
+	if placementEnergy(p, df, cost) >= placementEnergy(p, rd, cost) {
+		t.Error("DFSynthesizer must improve on its random start")
+	}
+}
+
+func TestDFSynthesizerBudget(t *testing.T) {
+	p := randomPCN(t, 2, 50, 500)
+	mesh := hw.MustMesh(8, 8)
+	_, stats, err := DFSynthesizer(p, mesh, Options{Seed: 1, Budget: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.EarlyStopped {
+		t.Error("nanosecond budget must early-stop")
+	}
+}
+
+func TestPSOImprovesOverWorstParticle(t *testing.T) {
+	p := randomPCN(t, 21, 16, 120)
+	mesh := hw.MustMesh(4, 4)
+	cost := hw.DefaultCostModel()
+	pso, stats, err := PSO(p, mesh, Options{Seed: 5, Iterations: 20, Particles: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pso.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Evaluations == 0 {
+		t.Error("no fitness evaluations recorded")
+	}
+	// gbest must beat the average random placement.
+	var rdSum float64
+	for s := int64(0); s < 5; s++ {
+		rd, _, err := Random(p, mesh, Options{Seed: 100 + s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rdSum += placementEnergy(p, rd, cost)
+	}
+	if placementEnergy(p, pso, cost) >= rdSum/5 {
+		t.Error("PSO should beat the average random placement")
+	}
+}
+
+func TestPSOBudgetAndDeterminism(t *testing.T) {
+	p := randomPCN(t, 33, 25, 200)
+	mesh := hw.MustMesh(5, 5)
+	_, stats, err := PSO(p, mesh, Options{Seed: 2, Budget: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.EarlyStopped {
+		t.Error("nanosecond budget must early-stop")
+	}
+	a, _, err := PSO(p, mesh, Options{Seed: 3, Iterations: 5, Particles: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := PSO(p, mesh, Options{Seed: 3, Iterations: 5, Particles: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PosOf {
+		if a.PosOf[i] != b.PosOf[i] {
+			t.Fatal("same seed must give the same PSO result")
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package baseline
+
+import (
+	"time"
+
+	"snnmap/internal/hw"
+	"snnmap/internal/pcn"
+	"snnmap/internal/place"
+	"snnmap/internal/toposort"
+)
+
+// PACMAN implements the placement strategy of SpiNNaker's standard mapping
+// tool (Galluppi et al., CF'12), as characterized in §2.2: a simple
+// first-come, first-served allocation. Clusters are taken in dataflow
+// (topological) order and assigned to the next free core in row-major scan
+// order. It is extremely fast and serves as the "no placement optimization"
+// reference point between Random and the heuristic baselines.
+//
+// PACMAN's real implementation additionally honors user-specified placement
+// constraints; the Options type carries none, so this is the unconstrained
+// core of the algorithm.
+func PACMAN(p *pcn.PCN, mesh hw.Mesh, opts Options) (*place.Placement, Stats, error) {
+	start := time.Now()
+	pl, err := place.New(p.NumClusters, mesh)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	order := toposort.Order(p)
+	next := int32(0)
+	for _, c := range order {
+		pl.Assign(int(c), next)
+		next++
+	}
+	return pl, Stats{Elapsed: time.Since(start), Moves: int64(p.NumClusters)}, nil
+}

@@ -1,0 +1,101 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"snnmap/internal/hw"
+	"snnmap/internal/pcn"
+	"snnmap/internal/place"
+	"snnmap/internal/snn"
+)
+
+// Native fuzz targets: the decoders must never panic and must reject
+// corrupt input with an error (or round-trip valid input faithfully). `go
+// test` exercises the seed corpus; `go test -fuzz=FuzzReadPCN` explores.
+
+func FuzzReadPCN(f *testing.F) {
+	// Seeds: a valid file, its truncations, and noise.
+	p := samplePCNForFuzz(f)
+	var buf bytes.Buffer
+	if err := WritePCN(&buf, p); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("SNNPCN01garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := ReadPCN(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally valid.
+		if vErr := q.Validate(); vErr != nil {
+			t.Fatalf("decoder accepted an invalid PCN: %v", vErr)
+		}
+	})
+}
+
+func FuzzReadPlacement(f *testing.F) {
+	pl, err := place.Sequential(4, hw.MustMesh(2, 3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlacement(&buf, pl); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:8])
+	f.Add([]byte("SNNPLC01xx"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := ReadPlacement(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if vErr := q.Validate(); vErr != nil {
+			t.Fatalf("decoder accepted an invalid placement: %v", vErr)
+		}
+	})
+}
+
+func FuzzReadNetJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteNetJSON(&buf, snn.LeNetMNIST()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"name":"x","layers":[{"name":"a","neurons":1}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := ReadNetJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if vErr := n.Validate(); vErr != nil {
+			t.Fatalf("decoder accepted an invalid net: %v", vErr)
+		}
+	})
+}
+
+// samplePCNForFuzz builds a small deterministic PCN without *testing.T.
+func samplePCNForFuzz(f *testing.F) *pcn.PCN {
+	f.Helper()
+	var b snn.GraphBuilder
+	b.AddNeurons(6, -1)
+	b.AddSynapse(0, 1, 1.5)
+	b.AddSynapse(1, 2, 2)
+	b.AddSynapse(3, 4, 1)
+	b.AddSynapse(4, 5, 3)
+	b.AddSynapse(0, 5, 0.5)
+	g := b.Build()
+	res, err := pcn.Partition(g, pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return res.PCN
+}

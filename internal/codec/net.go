@@ -1,0 +1,105 @@
+package codec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"snnmap/internal/snn"
+)
+
+// JSON workload descriptions let users define custom SNN applications
+// without writing Go. The schema mirrors snn.Net:
+//
+//	{
+//	  "name": "my-net",
+//	  "layers": [
+//	    {"name": "input",  "neurons": 1024},
+//	    {"name": "hidden", "neurons": 512, "rate": 0.8},
+//	    {"name": "output", "neurons": 10}
+//	  ],
+//	  "connections": [
+//	    {"from": 0, "to": 1, "fanIn": 1024, "pattern": "dense"},
+//	    {"from": 1, "to": 2, "fanIn": 512,  "pattern": "dense"}
+//	  ]
+//	}
+//
+// Patterns: "dense", "local" (with "window"), "one-to-one".
+
+type jsonNet struct {
+	Name        string      `json:"name"`
+	Layers      []jsonLayer `json:"layers"`
+	Connections []jsonConn  `json:"connections"`
+}
+
+type jsonLayer struct {
+	Name    string  `json:"name"`
+	Neurons int64   `json:"neurons"`
+	Rate    float64 `json:"rate,omitempty"`
+}
+
+type jsonConn struct {
+	From    int    `json:"from"`
+	To      int    `json:"to"`
+	FanIn   int64  `json:"fanIn"`
+	Pattern string `json:"pattern"`
+	Window  int    `json:"window,omitempty"`
+}
+
+// ReadNetJSON parses a JSON workload description and validates it.
+func ReadNetJSON(r io.Reader) (*snn.Net, error) {
+	var in jsonNet
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("codec: decoding net JSON: %w", err)
+	}
+	n := &snn.Net{Name: in.Name}
+	for _, l := range in.Layers {
+		n.Layers = append(n.Layers, snn.Layer{Name: l.Name, Neurons: l.Neurons, Rate: l.Rate})
+	}
+	for i, c := range in.Connections {
+		pattern, err := parsePattern(c.Pattern)
+		if err != nil {
+			return nil, fmt.Errorf("codec: connection %d: %w", i, err)
+		}
+		n.Conns = append(n.Conns, snn.Conn{
+			From: c.From, To: c.To, FanIn: c.FanIn, Pattern: pattern, Window: c.Window,
+		})
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("codec: net JSON invalid: %w", err)
+	}
+	return n, nil
+}
+
+// WriteNetJSON exports a Net as indented JSON in the ReadNetJSON schema.
+func WriteNetJSON(w io.Writer, n *snn.Net) error {
+	if err := n.Validate(); err != nil {
+		return fmt.Errorf("codec: refusing to export invalid net: %w", err)
+	}
+	out := jsonNet{Name: n.Name}
+	for _, l := range n.Layers {
+		out.Layers = append(out.Layers, jsonLayer{Name: l.Name, Neurons: l.Neurons, Rate: l.Rate})
+	}
+	for _, c := range n.Conns {
+		out.Connections = append(out.Connections, jsonConn{
+			From: c.From, To: c.To, FanIn: c.FanIn, Pattern: c.Pattern.String(), Window: c.Window,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func parsePattern(s string) (snn.Pattern, error) {
+	switch s {
+	case "dense", "":
+		return snn.Dense, nil
+	case "local":
+		return snn.Local, nil
+	case "one-to-one", "onetoone", "one_to_one":
+		return snn.OneToOne, nil
+	}
+	return 0, fmt.Errorf("unknown pattern %q (dense|local|one-to-one)", s)
+}

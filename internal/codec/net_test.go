@@ -1,0 +1,87 @@
+package codec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"snnmap/internal/snn"
+)
+
+const sampleNetJSON = `{
+  "name": "my-net",
+  "layers": [
+    {"name": "input", "neurons": 100},
+    {"name": "hidden", "neurons": 50, "rate": 0.8},
+    {"name": "output", "neurons": 10}
+  ],
+  "connections": [
+    {"from": 0, "to": 1, "fanIn": 100, "pattern": "dense"},
+    {"from": 1, "to": 2, "fanIn": 50, "pattern": "dense"},
+    {"from": 0, "to": 2, "fanIn": 1, "pattern": "one-to-one"}
+  ]
+}`
+
+func TestReadNetJSON(t *testing.T) {
+	n, err := ReadNetJSON(strings.NewReader(sampleNetJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "my-net" || len(n.Layers) != 3 || len(n.Conns) != 3 {
+		t.Fatalf("parsed net: %+v", n)
+	}
+	if n.Layers[1].Rate != 0.8 {
+		t.Errorf("rate = %g", n.Layers[1].Rate)
+	}
+	if n.Conns[2].Pattern != snn.OneToOne {
+		t.Errorf("pattern = %v", n.Conns[2].Pattern)
+	}
+	if n.NumNeurons() != 160 || n.NumSynapses() != 100*50+50*10+10 {
+		t.Errorf("totals: %d neurons %d synapses", n.NumNeurons(), n.NumSynapses())
+	}
+}
+
+func TestNetJSONRoundTrip(t *testing.T) {
+	orig := snn.LeNetMNIST()
+	var buf bytes.Buffer
+	if err := WriteNetJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNetJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || len(got.Layers) != len(orig.Layers) || len(got.Conns) != len(orig.Conns) {
+		t.Fatal("round trip changed structure")
+	}
+	if got.NumNeurons() != orig.NumNeurons() || got.NumSynapses() != orig.NumSynapses() {
+		t.Fatal("round trip changed totals")
+	}
+	for i := range orig.Conns {
+		if got.Conns[i] != orig.Conns[i] {
+			t.Fatalf("conn %d changed: %+v vs %+v", i, got.Conns[i], orig.Conns[i])
+		}
+	}
+}
+
+func TestReadNetJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"garbage":         "not json",
+		"unknown field":   `{"name":"x","layers":[{"name":"a","neurons":1}],"bogus":1}`,
+		"unknown pattern": `{"name":"x","layers":[{"name":"a","neurons":1},{"name":"b","neurons":1}],"connections":[{"from":0,"to":1,"fanIn":1,"pattern":"magic"}]}`,
+		"invalid net":     `{"name":"x","layers":[{"name":"a","neurons":0}]}`,
+		"bad conn target": `{"name":"x","layers":[{"name":"a","neurons":1}],"connections":[{"from":0,"to":5,"fanIn":1}]}`,
+	}
+	for name, body := range cases {
+		if _, err := ReadNetJSON(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteNetJSONRejectsInvalid(t *testing.T) {
+	bad := &snn.Net{Name: "bad"}
+	if err := WriteNetJSON(&bytes.Buffer{}, bad); err == nil {
+		t.Error("invalid net exported")
+	}
+}

@@ -1,0 +1,297 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"snnmap/internal/curve"
+)
+
+func TestWorkloadRegistry(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != 13 {
+		t.Fatalf("Table 3 has 13 workloads, registry has %d", len(names))
+	}
+	for _, name := range names {
+		if _, err := WorkloadByName(name); err != nil {
+			t.Errorf("lookup %q: %v", name, err)
+		}
+	}
+	if _, err := WorkloadByName("nope"); err == nil {
+		t.Error("unknown workload must fail")
+	}
+	tiny := Workloads(ScaleTiny)
+	small := Workloads(ScaleSmall)
+	medium := Workloads(ScaleMedium)
+	full := Workloads(ScaleFull)
+	if !(len(tiny) < len(small) && len(small) < len(medium) && len(medium) < len(full)) {
+		t.Errorf("tier sizes must be strictly increasing: %d %d %d %d",
+			len(tiny), len(small), len(medium), len(full))
+	}
+	if len(full) != 13 {
+		t.Errorf("full tier must include everything, got %d", len(full))
+	}
+}
+
+func TestWorkloadBuildTinyTier(t *testing.T) {
+	for _, wl := range Workloads(ScaleTiny) {
+		p, mesh, err := wl.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		if p.NumClusters > mesh.Cores() {
+			t.Errorf("%s: %d clusters on %v", wl.Name, p.NumClusters, mesh)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", wl.Name, err)
+		}
+		// Cached: second build returns the same PCN.
+		p2, _, _ := wl.Build()
+		if p2 != p {
+			t.Errorf("%s: Build must cache", wl.Name)
+		}
+	}
+}
+
+func TestMeshForMatchesTable3(t *testing.T) {
+	cases := map[int]int{16: 4, 9: 3, 4096: 64, 65536: 256, 251: 16, 229: 16, 1688: 42, 3570: 60, 6956: 84, 1048576: 1024}
+	for clusters, side := range cases {
+		if m := MeshFor(clusters); m.Rows != side || m.Cols != side {
+			t.Errorf("MeshFor(%d) = %v, want %dx%d", clusters, m, side, side)
+		}
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]Scale{"tiny": ScaleTiny, "small": ScaleSmall, "medium": ScaleMedium, "full": ScaleFull} {
+		got, err := ParseScale(s)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("giant"); err == nil {
+		t.Error("unknown scale must fail")
+	}
+}
+
+func TestMethodRegistry(t *testing.T) {
+	if got := len(Figure8Methods()); got != 10 {
+		t.Errorf("Figure 8 has 10 methods, got %d", got)
+	}
+	if got := len(ComparisonMethods()); got != 5 {
+		t.Errorf("comparison lineup has 5 methods, got %d", got)
+	}
+	for _, name := range []string{"Random", "HSC", "Proposed", "TrueNorth", "PSO", "DFSynthesizer"} {
+		if _, err := MethodByName(name); err != nil {
+			t.Errorf("MethodByName(%q): %v", name, err)
+		}
+	}
+	if _, err := MethodByName("magic"); err == nil {
+		t.Error("unknown method must fail")
+	}
+}
+
+func TestAllMethodsProduceValidPlacements(t *testing.T) {
+	wl, err := WorkloadByName("LeNet-MNIST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, mesh, err := wl.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := RunOptions{Seed: 1, Budget: 5 * time.Second}
+	for _, m := range append(Figure8Methods(), ComparisonMethods()[1:4]...) {
+		pl, stats, err := m.Run(p, mesh, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if err := pl.Validate(); err != nil {
+			t.Errorf("%s: invalid placement: %v", m.Name, err)
+		}
+		if stats.Elapsed < 0 {
+			t.Errorf("%s: negative elapsed", m.Name)
+		}
+	}
+}
+
+func TestTableRunners(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	if !strings.Contains(buf.String(), "SpiNNaker") {
+		t.Error("Table 1 missing SpiNNaker")
+	}
+	buf.Reset()
+	Table2(&buf)
+	if !strings.Contains(buf.String(), "CON_npc") {
+		t.Error("Table 2 missing CON_npc")
+	}
+	buf.Reset()
+	if err := Table3(&buf, ScaleTiny); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DNN_65K", "CNN_65K", "LeNet-MNIST"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table 3 missing %s", want)
+		}
+	}
+}
+
+func TestFig6Runner(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig6(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"hilbert", "zigzag", "circle", "Probability cloud"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig6 output missing %q", want)
+		}
+	}
+}
+
+func TestFig8Runner(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig8(&buf, "LeNet-MNIST", RunOptions{Seed: 1, Budget: 5 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a) Random") || !strings.Contains(out, "j) HSC+FD(uc)") {
+		t.Errorf("Fig8 output incomplete:\n%s", out)
+	}
+}
+
+func TestSweepAndFigureRunners(t *testing.T) {
+	rows, err := Sweep(ScaleTiny, RunOptions{Seed: 1, Budget: 5 * time.Second}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*5 {
+		t.Fatalf("sweep rows = %d, want 15 (3 workloads × 5 methods)", len(rows))
+	}
+	// The proposed method must beat Random on every tiny workload's energy.
+	byWorkload := map[string]map[string]SweepRow{}
+	for _, r := range rows {
+		if byWorkload[r.Workload] == nil {
+			byWorkload[r.Workload] = map[string]SweepRow{}
+		}
+		byWorkload[r.Workload][r.Method] = r
+	}
+	for wl, ms := range byWorkload {
+		if ms["Proposed"].Norm.Energy > 1.0 {
+			t.Errorf("%s: proposed normalized energy %.3f > 1", wl, ms["Proposed"].Norm.Energy)
+		}
+	}
+	var buf bytes.Buffer
+	for _, f := range []func(*bytes.Buffer) error{
+		func(b *bytes.Buffer) error { return Fig9(b, rows) },
+		func(b *bytes.Buffer) error { return Fig10(b, rows) },
+		func(b *bytes.Buffer) error { return Fig11(b, rows) },
+		func(b *bytes.Buffer) error { return Fig12(b, rows) },
+	} {
+		buf.Reset()
+		if err := f(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "DNN_65K") || !strings.Contains(buf.String(), "Proposed") {
+			t.Errorf("figure output incomplete:\n%s", buf.String())
+		}
+	}
+}
+
+func TestFig13Runner(t *testing.T) {
+	var buf bytes.Buffer
+	Fig13(&buf)
+	if !strings.Contains(buf.String(), "16x8") || !strings.Contains(buf.String(), "13x19") {
+		t.Error("Fig13 output missing rectangle sizes")
+	}
+}
+
+func TestHeadlineRunner(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Headline(&buf, "DNN_65K", RunOptions{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "proposed approach solved in") {
+		t.Errorf("headline output:\n%s", buf.String())
+	}
+}
+
+func TestAblationRunner(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Ablation(&buf, "LeNet-MNIST", RunOptions{Seed: 1, Budget: 5 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "λ sweep") || !strings.Contains(out, "l2sq") {
+		t.Errorf("ablation output incomplete:\n%s", out)
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	if fmtDuration(500*time.Nanosecond) != "500ns" {
+		t.Error(fmtDuration(500 * time.Nanosecond))
+	}
+	if fmtDuration(1500*time.Microsecond) != "1.5ms" {
+		t.Error(fmtDuration(1500 * time.Microsecond))
+	}
+	if fmtDuration(90*time.Second) != "1.5m" {
+		t.Error(fmtDuration(90 * time.Second))
+	}
+	if esMark(true) != " (ES)" || esMark(false) != "" {
+		t.Error("esMark broken")
+	}
+	if humanCount(1_500_000) != "1.5M" || humanCount(42) != "42" {
+		t.Errorf("humanCount: %s %s", humanCount(1_500_000), humanCount(42))
+	}
+	var buf bytes.Buffer
+	RenderCurve(&buf, curve.ZigZag{}, 2, 3)
+	want := "0 1 2 \n5 4 3 \n"
+	if buf.String() != want {
+		t.Errorf("RenderCurve = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestExtendedMethodsProduceValidPlacements(t *testing.T) {
+	wl, err := WorkloadByName("CNN_65K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, mesh, err := wl.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := ExtendedMethods()
+	if len(ext) != 7 {
+		t.Fatalf("extended lineup has %d methods, want 7", len(ext))
+	}
+	for _, m := range ext {
+		pl, _, err := m.Run(p, mesh, RunOptions{Seed: 1, Budget: 5 * time.Second})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if err := pl.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	for _, name := range []string{"PACMAN", "Annealing"} {
+		if _, err := MethodByName(name); err != nil {
+			t.Errorf("MethodByName(%q): %v", name, err)
+		}
+	}
+}
+
+func TestMulticastRunner(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Multicast(&buf, ScaleTiny, RunOptions{Seed: 1, Budget: 5 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"DNN_65K", "Saving", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("multicast output missing %q:\n%s", want, out)
+		}
+	}
+}

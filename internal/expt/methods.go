@@ -1,0 +1,147 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"snnmap/internal/baseline"
+	"snnmap/internal/curve"
+	"snnmap/internal/hw"
+	"snnmap/internal/mapping"
+	"snnmap/internal/pcn"
+	"snnmap/internal/place"
+)
+
+// RunOptions are shared knobs for every method run.
+type RunOptions struct {
+	// Seed drives randomized methods.
+	Seed int64
+	// Budget caps each method's wall-clock time, mirroring the paper's
+	// 100-hour early-stop protocol scaled to this machine. Zero = no cap.
+	Budget time.Duration
+	// Cost is the hardware cost model (zero value = Table 2 defaults).
+	Cost hw.CostModel
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Cost == (hw.CostModel{}) {
+		o.Cost = hw.DefaultCostModel()
+	}
+	return o
+}
+
+// MethodStats reports a method run.
+type MethodStats struct {
+	Elapsed      time.Duration
+	EarlyStopped bool
+}
+
+// Method is one mapping approach under evaluation.
+type Method struct {
+	// Name is the display name used in report rows.
+	Name string
+	// Run maps the PCN onto the mesh.
+	Run func(p *pcn.PCN, mesh hw.Mesh, opts RunOptions) (*place.Placement, MethodStats, error)
+}
+
+func curveMethod(name string, c curve.Curve) Method {
+	return Method{Name: name, Run: func(p *pcn.PCN, mesh hw.Mesh, opts RunOptions) (*place.Placement, MethodStats, error) {
+		start := time.Now()
+		pl, err := mapping.InitialPlacement(p, mesh, c)
+		return pl, MethodStats{Elapsed: time.Since(start)}, err
+	}}
+}
+
+func fdMethod(name string, c curve.Curve, pot func(hw.CostModel) mapping.Potential) Method {
+	return Method{Name: name, Run: func(p *pcn.PCN, mesh hw.Mesh, opts RunOptions) (*place.Placement, MethodStats, error) {
+		opts = opts.withDefaults()
+		start := time.Now()
+		var pl *place.Placement
+		var err error
+		if c != nil {
+			pl, err = mapping.InitialPlacement(p, mesh, c)
+		} else {
+			pl, _, err = baseline.Random(p, mesh, baseline.Options{Seed: opts.Seed})
+		}
+		if err != nil {
+			return nil, MethodStats{}, err
+		}
+		stats, err := mapping.Finetune(p, pl, mapping.FDConfig{
+			Potential: pot(opts.Cost),
+			Budget:    opts.Budget,
+		})
+		if err != nil {
+			return nil, MethodStats{}, err
+		}
+		return pl, MethodStats{Elapsed: time.Since(start), EarlyStopped: !stats.Converged}, nil
+	}}
+}
+
+func baselineMethod(name string, run func(*pcn.PCN, hw.Mesh, baseline.Options) (*place.Placement, baseline.Stats, error)) Method {
+	return Method{Name: name, Run: func(p *pcn.PCN, mesh hw.Mesh, opts RunOptions) (*place.Placement, MethodStats, error) {
+		opts = opts.withDefaults()
+		pl, stats, err := run(p, mesh, baseline.Options{Seed: opts.Seed, Budget: opts.Budget, Cost: opts.Cost})
+		return pl, MethodStats{Elapsed: stats.Elapsed, EarlyStopped: stats.EarlyStopped}, err
+	}}
+}
+
+// RandomMethod is the paper's normalization baseline.
+func RandomMethod() Method { return baselineMethod("Random", baseline.Random) }
+
+// Proposed is the paper's approach: HSC initial placement + FD with the
+// u_c = x²+y² potential (method j of Figure 8).
+func Proposed() Method {
+	return fdMethod("Proposed", curve.Hilbert{}, func(hw.CostModel) mapping.Potential { return mapping.L2Sq{} })
+}
+
+// Figure8Methods returns the ten methods a)–j) of Figure 8 in order.
+func Figure8Methods() []Method {
+	l1 := func(hw.CostModel) mapping.Potential { return mapping.L1{} }
+	l1sq := func(hw.CostModel) mapping.Potential { return mapping.L1Sq{} }
+	l2sq := func(hw.CostModel) mapping.Potential { return mapping.L2Sq{} }
+	return []Method{
+		RandomMethod(),                                // a) baseline
+		curveMethod("HSC", curve.Hilbert{}),           // b)
+		curveMethod("ZigZag", curve.ZigZag{}),         // c)
+		curveMethod("Circle", curve.Circle{}),         // d)
+		fdMethod("FD(ua)", nil, l1),                   // e)
+		fdMethod("HSC+FD(ua)", curve.Hilbert{}, l1),   // f)
+		fdMethod("FD(ub)", nil, l1sq),                 // g)
+		fdMethod("HSC+FD(ub)", curve.Hilbert{}, l1sq), // h)
+		fdMethod("FD(uc)", nil, l2sq),                 // i)
+		fdMethod("HSC+FD(uc)", curve.Hilbert{}, l2sq), // j) = Proposed
+	}
+}
+
+// ComparisonMethods returns the §5.3 cross-method lineup: Random (baseline),
+// TrueNorth, DFSynthesizer, PSO, and the proposed approach.
+func ComparisonMethods() []Method {
+	return []Method{
+		RandomMethod(),
+		baselineMethod("TrueNorth", baseline.TrueNorth),
+		baselineMethod("DFSynthesizer", baseline.DFSynthesizer),
+		baselineMethod("PSO", baseline.PSO),
+		Proposed(),
+	}
+}
+
+// ExtendedMethods returns the comparison lineup plus the extra approaches
+// this library implements beyond the paper's figures: PACMAN (SpiNNaker's
+// first-come-first-served placer, §2.2) and simulated annealing (the
+// classic placement metaheuristic).
+func ExtendedMethods() []Method {
+	return append(ComparisonMethods(),
+		baselineMethod("PACMAN", baseline.PACMAN),
+		baselineMethod("Annealing", baseline.SimulatedAnnealing),
+	)
+}
+
+// MethodByName returns a method from any lineup.
+func MethodByName(name string) (Method, error) {
+	for _, m := range append(Figure8Methods(), ExtendedMethods()...) {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Method{}, fmt.Errorf("expt: unknown method %q", name)
+}

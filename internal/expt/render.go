@@ -1,0 +1,66 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"snnmap/internal/curve"
+)
+
+// fmtDuration renders a duration at millisecond-ish precision, compactly.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+	case d < time.Minute:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+	return fmt.Sprintf("%.1fm", d.Minutes())
+}
+
+// esMark renders the paper's "early stop" marker.
+func esMark(early bool) string {
+	if early {
+		return " (ES)"
+	}
+	return ""
+}
+
+// humanCount renders large counts with K/M/B/T suffixes, matching the
+// paper's table style.
+func humanCount(v int64) string {
+	f := float64(v)
+	switch {
+	case v >= 1_000_000_000_000:
+		return fmt.Sprintf("%.3gT", f/1e12)
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.3gB", f/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.3gM", f/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%.3gK", f/1e3)
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// RenderCurve prints the curve's visit order as a grid of sequence indices
+// (the textual analogue of Figures 4 and 13).
+func RenderCurve(w io.Writer, c curve.Curve, n, m int) {
+	pts := c.Points(n, m)
+	grid := make([]int, n*m)
+	for seq, p := range pts {
+		grid[p.X*m+p.Y] = seq
+	}
+	width := len(fmt.Sprint(n*m - 1))
+	for r := 0; r < n; r++ {
+		for col := 0; col < m; col++ {
+			fmt.Fprintf(w, "%*d ", width, grid[r*m+col])
+		}
+		fmt.Fprintln(w)
+	}
+}

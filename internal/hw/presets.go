@@ -1,0 +1,84 @@
+package hw
+
+import "sort"
+
+// Platform records the published capacity of a real neuromorphic system, as
+// summarized in Table 1 of the paper.
+type Platform struct {
+	// Name of the platform, e.g. "Loihi".
+	Name string
+	// NeuronsPerCore and SynapsesPerCore are the per-core capacities.
+	NeuronsPerCore  int
+	SynapsesPerCore int
+	// CoresPerChip and ChipsPerSystem describe the high-performance system
+	// configuration of Table 1.
+	CoresPerChip   int
+	ChipsPerSystem int
+}
+
+// Cores returns the total core count of the high-performance system.
+func (p Platform) Cores() int { return p.CoresPerChip * p.ChipsPerSystem }
+
+// MaxNeurons returns the system-wide neuron capacity.
+func (p Platform) MaxNeurons() int64 {
+	return int64(p.Cores()) * int64(p.NeuronsPerCore)
+}
+
+// MaxSynapses returns the system-wide synapse capacity.
+func (p Platform) MaxSynapses() int64 {
+	return int64(p.Cores()) * int64(p.SynapsesPerCore)
+}
+
+// Constraints returns the per-core capacity limits of the platform.
+func (p Platform) Constraints() Constraints {
+	return Constraints{NeuronsPerCore: p.NeuronsPerCore, SynapsesPerCore: p.SynapsesPerCore}
+}
+
+// Table 1 platform presets.
+var platforms = map[string]Platform{
+	"DYNAPs": {
+		Name:           "DYNAPs",
+		NeuronsPerCore: 256, SynapsesPerCore: 16 * 1024,
+		CoresPerChip: 1, ChipsPerSystem: 4,
+	},
+	"BrainScaleS": {
+		Name:           "BrainScaleS",
+		NeuronsPerCore: 512, SynapsesPerCore: 128 * 1024,
+		CoresPerChip: 1, ChipsPerSystem: 8192,
+	},
+	"Loihi": {
+		Name:           "Loihi",
+		NeuronsPerCore: 128, SynapsesPerCore: 500 * 1000,
+		CoresPerChip: 1024, ChipsPerSystem: 768,
+	},
+	"SpiNNaker": {
+		Name:           "SpiNNaker",
+		NeuronsPerCore: 1000, SynapsesPerCore: 2 * 1024,
+		CoresPerChip: 18, ChipsPerSystem: 1_000_000,
+	},
+	"TrueNorth": {
+		Name:           "TrueNorth",
+		NeuronsPerCore: 256, SynapsesPerCore: 262 * 1024,
+		CoresPerChip: 4096, ChipsPerSystem: 64,
+	},
+}
+
+// Platforms returns all Table 1 presets sorted by name.
+func Platforms() []Platform {
+	names := make([]string, 0, len(platforms))
+	for name := range platforms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Platform, len(names))
+	for i, name := range names {
+		out[i] = platforms[name]
+	}
+	return out
+}
+
+// PlatformByName returns the Table 1 preset with the given name.
+func PlatformByName(name string) (Platform, bool) {
+	p, ok := platforms[name]
+	return p, ok
+}

@@ -1,0 +1,564 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"snnmap/internal/geom"
+	"snnmap/internal/hw"
+	"snnmap/internal/pcn"
+	"snnmap/internal/place"
+)
+
+// FDConfig tunes Algorithm 3.
+type FDConfig struct {
+	// Potential is the field shape u(p); nil means L2Sq (the paper's
+	// best-performing method j).
+	Potential Potential
+	// Lambda is the fraction of the tension queue swapped per iteration
+	// (§4.5 design choice 2). Zero means the paper's practical value 0.3.
+	Lambda float64
+	// MinGain is the smallest tension treated as positive; it guards the
+	// monotone-descent argument (Eq. 31) against float round-off in the
+	// incrementally maintained force arrays. Zero means adaptive:
+	// max(1e-9, 1e-12·E_s(initial)), so drift proportional to the energy
+	// scale never masquerades as real tension (the flat u_a potential
+	// produces exactly-zero tensions that drift would otherwise keep
+	// re-queueing forever).
+	MinGain float64
+	// MaxIterations caps the outer loop (0 = until the queue drains).
+	MaxIterations int
+	// Budget caps wall-clock time (0 = unlimited). When exceeded the
+	// current placement is returned with Converged=false, mirroring the
+	// paper's early-stop protocol for slow methods.
+	Budget time.Duration
+	// Workers parallelizes the O(|E|) build phases (initial forces, the
+	// initial tension queue, and energy accounting) across goroutines.
+	// Results are bit-identical regardless of the value: force cells are
+	// disjoint, the queue's total order fixes the sort, and energy partial
+	// sums are reduced in deterministic chunk order. The swap loop itself
+	// stays sequential, as Algorithm 3 requires. 0 or 1 means sequential
+	// (the paper's single-threaded C++ setting).
+	Workers int
+}
+
+func (c FDConfig) withDefaults() FDConfig {
+	if c.Potential == nil {
+		c.Potential = L2Sq{}
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 0.3
+	}
+	if c.Lambda > 1 {
+		c.Lambda = 1
+	}
+	return c
+}
+
+// effectiveMinGain resolves the adaptive MinGain default against the
+// initial system energy.
+func (c FDConfig) effectiveMinGain(initialEnergy float64) float64 {
+	if c.MinGain > 0 {
+		return c.MinGain
+	}
+	eps := 1e-12 * math.Abs(initialEnergy)
+	if eps < 1e-9 {
+		eps = 1e-9
+	}
+	return eps
+}
+
+// FDStats reports what one Finetune run did.
+type FDStats struct {
+	// Iterations is the number of outer queue iterations executed.
+	Iterations int
+	// Swaps is the number of executed position swaps.
+	Swaps int64
+	// TensionChecks counts tension evaluations (for complexity analysis).
+	TensionChecks int64
+	// InitialEnergy and FinalEnergy are the system total potential energy
+	// E_s (Eq. 23) before and after optimization.
+	InitialEnergy, FinalEnergy float64
+	// Converged reports whether the queue drained (as opposed to hitting
+	// MaxIterations or Budget).
+	Converged bool
+	// Elapsed is the wall-clock optimization time.
+	Elapsed time.Duration
+}
+
+// Finetune runs the Force-Directed algorithm (Algorithm 3) on the placement
+// in place, mutating pl, and returns run statistics. The placement must be
+// valid for the PCN.
+func Finetune(p *pcn.PCN, pl *place.Placement, cfg FDConfig) (FDStats, error) {
+	cfg = cfg.withDefaults()
+	if len(pl.PosOf) != p.NumClusters {
+		return FDStats{}, fmt.Errorf("mapping: placement covers %d clusters, PCN has %d", len(pl.PosOf), p.NumClusters)
+	}
+	start := time.Now()
+	e := newFDEngine(p, pl, cfg)
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	stats := FDStats{InitialEnergy: e.systemEnergyParallel(workers)}
+	minGain := cfg.effectiveMinGain(stats.InitialEnergy)
+
+	// Build Force[p][0..3] for every occupied position (Alg. 3 lines 3-5).
+	e.buildAllForces(workers)
+	// Build the initial tension queue (lines 6-13).
+	queue := e.initialQueue(workers)
+
+	deadline := time.Time{}
+	if cfg.Budget > 0 {
+		deadline = start.Add(cfg.Budget)
+	}
+
+	for len(queue) > 0 {
+		if cfg.MaxIterations > 0 && stats.Iterations >= cfg.MaxIterations {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		stats.Iterations++
+
+		// Swap the top λ fraction of the queue (lines 17-29).
+		limit := int(math.Ceil(cfg.Lambda * float64(len(queue))))
+		if limit < 1 {
+			limit = 1
+		}
+		e.beginEpoch()
+		for i := 0; i < limit; i++ {
+			id := queue[i].id
+			t := e.tension(id)
+			stats.TensionChecks++
+			if t > minGain {
+				e.swapPair(id)
+				stats.Swaps++
+			}
+		}
+
+		// Rebuild the queue for the next iteration (lines 30-40): keep all
+		// current pairs, add every pair touching an affected cluster,
+		// recompute tensions and drop non-positive entries.
+		queue = e.nextQueue(queue, minGain, &stats.TensionChecks)
+	}
+
+	stats.Converged = len(queue) == 0
+	stats.FinalEnergy = e.systemEnergyParallel(workers)
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+// pairTension is one queue entry: an adjacent-cell pair and its tension at
+// queue-build time.
+type pairTension struct {
+	id      int32
+	tension float64
+}
+
+// fdEngine holds the mutable state of one Finetune run.
+//
+// Pair identifiers: the pair of cell idx with its right neighbor has id
+// idx*2, with its bottom neighbor idx*2+1. Only in-mesh pairs are ever
+// enqueued.
+type fdEngine struct {
+	p    *pcn.PCN
+	und  *pcn.Undirected
+	pl   *place.Placement
+	mesh hw.Mesh
+	pot  Potential
+	// unitCorr is 2·(u(1)−u(0)), the tension correction for mutually
+	// connected adjacent clusters (see DESIGN.md: tension is the exact
+	// swap ΔE_s, so the mutual edge — whose length a swap cannot change —
+	// must not be counted).
+	unitCorr float64
+
+	// force[idx*4+d] is Force[p][d] of Alg. 3 for the cluster at cell idx
+	// (0 for empty cells and off-mesh directions).
+	force []float64
+
+	// Epoch-stamped membership marks for queue and affected-list dedupe.
+	pairMark    []int32
+	clusterMark []int32
+	epoch       int32
+	affected    []int32 // clusters affected in the current epoch
+}
+
+func newFDEngine(p *pcn.PCN, pl *place.Placement, cfg FDConfig) *fdEngine {
+	mesh := pl.Mesh
+	return &fdEngine{
+		p:           p,
+		und:         p.Undirected(),
+		pl:          pl,
+		mesh:        mesh,
+		pot:         cfg.Potential,
+		unitCorr:    2 * (cfg.Potential.AtUnit() - cfg.Potential.AtZero()),
+		force:       make([]float64, 4*mesh.Cores()),
+		pairMark:    make([]int32, 2*mesh.Cores()),
+		clusterMark: make([]int32, p.NumClusters),
+	}
+}
+
+// systemEnergy returns E_s (Eq. 23) for the cluster range [lo, hi): the sum
+// over connections of u(P(c_j)−P(c_i))·w. Undirected weights already
+// combine both directions.
+func (e *fdEngine) systemEnergy(lo, hi int) float64 {
+	var total float64
+	for c := lo; c < hi; c++ {
+		pc := e.pl.Of(c)
+		tos, ws := e.und.Neighbors(c)
+		for k, to := range tos {
+			if int(to) < c {
+				continue // count each unordered pair once
+			}
+			total += ws[k] * e.pot.Eval(e.pl.Of(int(to)).Sub(pc))
+		}
+	}
+	return total
+}
+
+// systemEnergyParallel computes E_s with the given worker count. Partial
+// sums are produced per fixed chunk and reduced in chunk order, so the
+// result is identical for any worker count.
+func (e *fdEngine) systemEnergyParallel(workers int) float64 {
+	n := e.p.NumClusters
+	if workers <= 1 || n < 4096 {
+		return e.systemEnergy(0, n)
+	}
+	chunk := (n + workers - 1) / workers
+	partial := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partial[w] = e.systemEnergy(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total float64
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// buildAllForces fills the force array for every occupied cell, optionally
+// in parallel (cells are disjoint, the placement is immutable during the
+// build, so the result is identical for any worker count).
+func (e *fdEngine) buildAllForces(workers int) {
+	cores := int32(e.mesh.Cores())
+	if workers <= 1 || cores < 4096 {
+		for idx := int32(0); idx < cores; idx++ {
+			if e.pl.ClusterAt[idx] != place.None {
+				e.rebuildForce(idx)
+			}
+		}
+		return
+	}
+	chunk := (int(cores) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := int32(w * chunk)
+		hi := lo + int32(chunk)
+		if hi > cores {
+			hi = cores
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int32) {
+			defer wg.Done()
+			for idx := lo; idx < hi; idx++ {
+				if e.pl.ClusterAt[idx] != place.None {
+					e.rebuildForce(idx)
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// dirValid reports whether moving from cell pt in direction d stays on-mesh.
+func (e *fdEngine) dirValid(pt geom.Point, d geom.Dir) bool {
+	switch d {
+	case geom.Up:
+		return pt.X > 0
+	case geom.Down:
+		return pt.X < e.mesh.Rows-1
+	case geom.Right:
+		return pt.Y < e.mesh.Cols-1
+	case geom.Left:
+		return pt.Y > 0
+	}
+	return false
+}
+
+// rebuildForce recomputes Force[idx][0..3] from scratch (Eq. 27) for the
+// cluster currently at cell idx; empty cells get zero force.
+func (e *fdEngine) rebuildForce(idx int32) {
+	base := int(idx) * 4
+	e.force[base], e.force[base+1], e.force[base+2], e.force[base+3] = 0, 0, 0, 0
+	c := e.pl.ClusterAt[idx]
+	if c == place.None {
+		return
+	}
+	pa := e.mesh.Coord(int(idx))
+	tos, ws := e.und.Neighbors(int(c))
+	for k, to := range tos {
+		dp := e.pl.Of(int(to)).Sub(pa)
+		u0 := e.pot.Eval(dp)
+		w := ws[k]
+		for d := geom.Dir(0); d < geom.NumDirs; d++ {
+			if !e.dirValid(pa, d) {
+				continue
+			}
+			e.force[base+int(d)] += w * (u0 - e.pot.Eval(dp.Sub(d.Delta())))
+		}
+	}
+}
+
+// pairCells decodes a pair id into its two cell indices and the direction
+// from the first cell to the second.
+func (e *fdEngine) pairCells(id int32) (a, b int32, d geom.Dir) {
+	a = id / 2
+	if id%2 == 0 {
+		return a, a + 1, geom.Right
+	}
+	return a, a + int32(e.mesh.Cols), geom.Down
+}
+
+// mutualWeight returns the combined undirected weight between two clusters
+// (0 when unconnected), via binary search of the sorted adjacency.
+func (e *fdEngine) mutualWeight(c1, c2 int32) float64 {
+	tos, ws := e.und.Neighbors(int(c1))
+	lo, hi := 0, len(tos)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tos[mid] < c2 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(tos) && tos[lo] == c2 {
+		return ws[lo]
+	}
+	return 0
+}
+
+// tension returns the exact swap gain (Eq. 30 corrected for mutual edges)
+// for the adjacent-cell pair id: the decrease of E_s if the two cells'
+// contents are exchanged.
+func (e *fdEngine) tension(id int32) float64 {
+	a, b, d := e.pairCells(id)
+	ca, cb := e.pl.ClusterAt[a], e.pl.ClusterAt[b]
+	switch {
+	case ca == place.None && cb == place.None:
+		return 0
+	case cb == place.None:
+		return e.force[int(a)*4+int(d)]
+	case ca == place.None:
+		return e.force[int(b)*4+int(d.Opposite())]
+	default:
+		t := e.force[int(a)*4+int(d)] + e.force[int(b)*4+int(d.Opposite())]
+		if w := e.mutualWeight(ca, cb); w != 0 {
+			t -= w * e.unitCorr
+		}
+		return t
+	}
+}
+
+// beginEpoch resets the affected-cluster list for a new iteration.
+func (e *fdEngine) beginEpoch() {
+	e.epoch++
+	e.affected = e.affected[:0]
+}
+
+func (e *fdEngine) markAffected(c int32) {
+	if e.clusterMark[c] != e.epoch {
+		e.clusterMark[c] = e.epoch
+		e.affected = append(e.affected, c)
+	}
+}
+
+// swapPair executes the swap of pair id (Alg. 3 lines 20-27): exchange the
+// two cells' contents, rebuild their forces, incrementally maintain the
+// forces of every connected cluster, and record affected clusters.
+func (e *fdEngine) swapPair(id int32) {
+	a, b, _ := e.pairCells(id)
+	ca, cb := e.pl.ClusterAt[a], e.pl.ClusterAt[b]
+	pa, pb := e.mesh.Coord(int(a)), e.mesh.Coord(int(b))
+
+	e.pl.SwapCores(a, b)
+	e.rebuildForce(a)
+	e.rebuildForce(b)
+
+	if ca != place.None {
+		e.maintainNeighbors(ca, cb, pa, pb)
+		e.markAffected(ca)
+	}
+	if cb != place.None {
+		e.maintainNeighbors(cb, ca, pb, pa)
+		e.markAffected(cb)
+	}
+}
+
+// maintainNeighbors applies the incremental force update for every cluster
+// connected to moved (which traveled oldPos → newPos), skipping other —
+// the co-swapped cluster, whose cell was fully rebuilt.
+func (e *fdEngine) maintainNeighbors(moved, other int32, oldPos, newPos geom.Point) {
+	tos, ws := e.und.Neighbors(int(moved))
+	for k, to := range tos {
+		if to == other {
+			continue
+		}
+		w := ws[k]
+		pkIdx := e.pl.PosOf[to]
+		pk := e.mesh.Coord(int(pkIdx))
+		base := int(pkIdx) * 4
+		oldDP := oldPos.Sub(pk)
+		newDP := newPos.Sub(pk)
+		uOld := e.pot.Eval(oldDP)
+		uNew := e.pot.Eval(newDP)
+		for d := geom.Dir(0); d < geom.NumDirs; d++ {
+			if !e.dirValid(pk, d) {
+				continue
+			}
+			dd := d.Delta()
+			e.force[base+int(d)] += w * ((uNew - e.pot.Eval(newDP.Sub(dd))) -
+				(uOld - e.pot.Eval(oldDP.Sub(dd))))
+		}
+		e.markAffected(to)
+	}
+}
+
+// pairsTouching appends the (up to four) pair ids whose cells include the
+// given cell index.
+func (e *fdEngine) pairsTouching(idx int32, out []int32) []int32 {
+	cols := int32(e.mesh.Cols)
+	r, c := idx/cols, idx%cols
+	if c < cols-1 {
+		out = append(out, idx*2)
+	}
+	if c > 0 {
+		out = append(out, (idx-1)*2)
+	}
+	if r < int32(e.mesh.Rows)-1 {
+		out = append(out, idx*2+1)
+	}
+	if r > 0 {
+		out = append(out, (idx-int32(e.mesh.Cols))*2+1)
+	}
+	return out
+}
+
+// initialQueue builds the first tension queue (Alg. 3 lines 6-13): all
+// adjacent pairs with positive tension, sorted by decreasing tension. The
+// scan parallelizes per cell range; the final total-order sort makes the
+// result independent of the worker count.
+func (e *fdEngine) initialQueue(workers int) []pairTension {
+	cores := int32(e.mesh.Cores())
+	scan := func(lo, hi int32) []pairTension {
+		var out []pairTension
+		var scratch [4]int32
+		for idx := lo; idx < hi; idx++ {
+			for _, id := range e.pairsTouching(idx, scratch[:0]) {
+				if id/2 != idx {
+					continue // enumerate each pair from its first cell only
+				}
+				if t := e.tension(id); t > 0 {
+					out = append(out, pairTension{id: id, tension: t})
+				}
+			}
+		}
+		return out
+	}
+	var queue []pairTension
+	if workers <= 1 || cores < 4096 {
+		queue = scan(0, cores)
+	} else {
+		chunk := (int(cores) + workers - 1) / workers
+		parts := make([][]pairTension, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := int32(w * chunk)
+			hi := lo + int32(chunk)
+			if hi > cores {
+				hi = cores
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(w int, lo, hi int32) {
+				defer wg.Done()
+				parts[w] = scan(lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, part := range parts {
+			queue = append(queue, part...)
+		}
+	}
+	sortQueue(queue)
+	return queue
+}
+
+// nextQueue implements Alg. 3 lines 30-40: start from the current queue,
+// add all pairs touching affected clusters, recompute every tension, drop
+// non-positive pairs, sort.
+func (e *fdEngine) nextQueue(queue []pairTension, minGain float64, checks *int64) []pairTension {
+	// Mark pairs already queued (dedupe epoch shared with pairMark).
+	e.epoch++ // fresh epoch for pair marks; cluster marks are stale now
+	next := queue[:0]
+	ids := make([]int32, 0, len(queue)+4*len(e.affected))
+	for _, pt := range queue {
+		if e.pairMark[pt.id] != e.epoch {
+			e.pairMark[pt.id] = e.epoch
+			ids = append(ids, pt.id)
+		}
+	}
+	var scratch [4]int32
+	for _, c := range e.affected {
+		for _, id := range e.pairsTouching(e.pl.PosOf[c], scratch[:0]) {
+			if e.pairMark[id] != e.epoch {
+				e.pairMark[id] = e.epoch
+				ids = append(ids, id)
+			}
+		}
+	}
+	for _, id := range ids {
+		t := e.tension(id)
+		*checks++
+		if t > minGain {
+			next = append(next, pairTension{id: id, tension: t})
+		}
+	}
+	sortQueue(next)
+	return next
+}
+
+// sortQueue orders by decreasing tension, breaking ties by pair id for
+// determinism.
+func sortQueue(q []pairTension) {
+	sort.Slice(q, func(i, j int) bool {
+		if q[i].tension != q[j].tension {
+			return q[i].tension > q[j].tension
+		}
+		return q[i].id < q[j].id
+	})
+}

@@ -1,0 +1,33 @@
+package mapping
+
+import (
+	"fmt"
+
+	"snnmap/internal/curve"
+	"snnmap/internal/hw"
+	"snnmap/internal/pcn"
+	"snnmap/internal/place"
+	"snnmap/internal/toposort"
+)
+
+// InitialPlacement computes P_init = Hilbert ∘ Seq (Eq. 17): the PCN is
+// linearized by Algorithm 2's topological sort and the sequence is laid
+// along the given space-filling curve over the mesh. Any registered curve
+// works; the paper's approach uses the Hilbert curve, with ZigZag and Circle
+// retained for the Figure 6/8 comparisons.
+func InitialPlacement(p *pcn.PCN, mesh hw.Mesh, c curve.Curve) (*place.Placement, error) {
+	if p.NumClusters > mesh.Cores() {
+		return nil, fmt.Errorf("mapping: %d clusters exceed %v mesh capacity", p.NumClusters, mesh)
+	}
+	order := toposort.Order(p)
+	pts := c.Points(mesh.Rows, mesh.Cols)
+	pl, err := place.New(p.NumClusters, mesh)
+	if err != nil {
+		return nil, err
+	}
+	for j, cluster := range order {
+		pt := pts[j]
+		pl.Assign(int(cluster), int32(mesh.Index(pt)))
+	}
+	return pl, nil
+}

@@ -1,0 +1,73 @@
+package mapping
+
+import (
+	"fmt"
+	"time"
+
+	"snnmap/internal/curve"
+	"snnmap/internal/hw"
+	"snnmap/internal/pcn"
+	"snnmap/internal/place"
+)
+
+// Config describes one complete mapping pipeline: an initial placement
+// strategy followed by optional FD fine-tuning. The paper's proposed
+// approach is {Curve: Hilbert, FD with the L2Sq potential} — method j of
+// Figure 8.
+type Config struct {
+	// Curve selects the space-filling curve for the initial placement;
+	// nil means the Hilbert curve.
+	Curve curve.Curve
+	// FD enables Force-Directed fine-tuning when non-nil.
+	FD *FDConfig
+	// Polish optionally runs a second FD phase after FD converges,
+	// typically with the exact energy potential of Eq. 25: the quadratic
+	// u_c shapes the layout, the energy potential then descends the true
+	// M_ec objective from an already-good configuration.
+	Polish *FDConfig
+}
+
+// Default returns the paper's proposed approach (HSC + FD with u_c).
+func Default() Config {
+	return Config{Curve: curve.Hilbert{}, FD: &FDConfig{Potential: L2Sq{}}}
+}
+
+// Result is the output of Map.
+type Result struct {
+	Placement *place.Placement
+	// FD holds fine-tuning statistics (zero value when FD was disabled).
+	FD FDStats
+	// Polish holds second-phase statistics (zero value when disabled).
+	Polish FDStats
+	// Elapsed is the total mapping wall-clock time (initial placement plus
+	// fine-tuning), the "algorithm execution time" metric of §5.1.4.
+	Elapsed time.Duration
+}
+
+// Map runs the configured pipeline on the PCN and mesh.
+func Map(p *pcn.PCN, mesh hw.Mesh, cfg Config) (Result, error) {
+	start := time.Now()
+	c := cfg.Curve
+	if c == nil {
+		c = curve.Hilbert{}
+	}
+	pl, err := InitialPlacement(p, mesh, c)
+	if err != nil {
+		return Result{}, fmt.Errorf("mapping: initial placement: %w", err)
+	}
+	res := Result{Placement: pl}
+	if cfg.FD != nil {
+		res.FD, err = Finetune(p, pl, *cfg.FD)
+		if err != nil {
+			return Result{}, fmt.Errorf("mapping: finetune: %w", err)
+		}
+	}
+	if cfg.Polish != nil {
+		res.Polish, err = Finetune(p, pl, *cfg.Polish)
+		if err != nil {
+			return Result{}, fmt.Errorf("mapping: polish: %w", err)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,48 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"snnmap/internal/hw"
+	"snnmap/internal/place"
+)
+
+// TestFinetuneWorkersBitIdentical verifies the FDConfig.Workers contract:
+// any worker count produces exactly the same placement, energies and swap
+// counts (the parallel phases are deterministic by construction).
+func TestFinetuneWorkersBitIdentical(t *testing.T) {
+	// Large enough to cross the parallel threshold (≥4096 cores).
+	p := randomPCN(t, 99, 4500, 30000)
+	mesh := hw.MustMesh(68, 68)
+	run := func(workers int) ([]int32, FDStats) {
+		pl, err := place.Random(p.NumClusters, mesh, rand.New(rand.NewSource(12)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := Finetune(p, pl, FDConfig{
+			Potential:     L2Sq{},
+			Workers:       workers,
+			MaxIterations: 6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl.PosOf, stats
+	}
+	pos1, stats1 := run(1)
+	pos4, stats4 := run(4)
+	if stats1.InitialEnergy != stats4.InitialEnergy || stats1.FinalEnergy != stats4.FinalEnergy {
+		t.Errorf("energies differ: %v/%v vs %v/%v",
+			stats1.InitialEnergy, stats1.FinalEnergy, stats4.InitialEnergy, stats4.FinalEnergy)
+	}
+	if stats1.Swaps != stats4.Swaps || stats1.Iterations != stats4.Iterations {
+		t.Errorf("trajectory differs: %d/%d swaps, %d/%d iterations",
+			stats1.Swaps, stats4.Swaps, stats1.Iterations, stats4.Iterations)
+	}
+	for i := range pos1 {
+		if pos1[i] != pos4[i] {
+			t.Fatalf("placement differs at cluster %d", i)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package mapping implements the paper's contribution (§4): initial
+// placement along a space-filling curve after topological sorting (Eq. 17)
+// and the Force-Directed fine-tuning algorithm (Algorithm 3) with the
+// potential-field family of §4.4.2.
+package mapping
+
+import (
+	"fmt"
+
+	"snnmap/internal/geom"
+	"snnmap/internal/hw"
+)
+
+// Potential is the potential-field shape u(p) of Eq. 18: the potential
+// energy a unit-weight cluster gains at relative position p from a field
+// origin. All potentials used by the paper are symmetric (u(p) = u(−p)),
+// which the FD algorithm relies on; implementations must preserve that.
+type Potential interface {
+	// Name returns the registry name ("l1", "l1sq", "l2sq", "energy").
+	Name() string
+	// Eval returns u(p) for the relative position p.
+	Eval(p geom.Point) float64
+	// AtUnit returns u of a unit step (distance-1 relative position) and
+	// AtZero returns u(0); the FD algorithm uses them to correct tension
+	// for mutually connected adjacent clusters.
+	AtUnit() float64
+	AtZero() float64
+}
+
+// L1 is u_a(p) = |x| + |y| (Eq. 19): a uniform field whose total system
+// energy is proportional to total weighted wire length.
+type L1 struct{}
+
+// Name implements Potential.
+func (L1) Name() string { return "l1" }
+
+// Eval implements Potential.
+func (L1) Eval(p geom.Point) float64 { return float64(p.L1()) }
+
+// AtUnit implements Potential.
+func (L1) AtUnit() float64 { return 1 }
+
+// AtZero implements Potential.
+func (L1) AtZero() float64 { return 0 }
+
+// L1Sq is u_b(p) = (|x| + |y|)² (Eq. 20): denser away from the origin, so
+// long connections are pulled in first.
+type L1Sq struct{}
+
+// Name implements Potential.
+func (L1Sq) Name() string { return "l1sq" }
+
+// Eval implements Potential.
+func (L1Sq) Eval(p geom.Point) float64 {
+	d := float64(p.L1())
+	return d * d
+}
+
+// AtUnit implements Potential.
+func (L1Sq) AtUnit() float64 { return 1 }
+
+// AtZero implements Potential.
+func (L1Sq) AtZero() float64 { return 0 }
+
+// L2Sq is u_c(p) = x² + y² (Eq. 21): the quadratic Euclidean field; the
+// paper's best-quality configuration (method j of Figure 8) combines it
+// with an HSC initial placement.
+type L2Sq struct{}
+
+// Name implements Potential.
+func (L2Sq) Name() string { return "l2sq" }
+
+// Eval implements Potential.
+func (L2Sq) Eval(p geom.Point) float64 { return float64(p.L2Sq()) }
+
+// AtUnit implements Potential.
+func (L2Sq) AtUnit() float64 { return 1 }
+
+// AtZero implements Potential.
+func (L2Sq) AtZero() float64 { return 0 }
+
+// EnergyPotential is u(p) = (‖p‖+1)·EN_r + ‖p‖·EN_w (Eq. 25), which makes
+// the FD algorithm minimize the metric M_ec exactly (Eq. 26).
+type EnergyPotential struct {
+	Cost hw.CostModel
+}
+
+// Name implements Potential.
+func (EnergyPotential) Name() string { return "energy" }
+
+// Eval implements Potential.
+func (e EnergyPotential) Eval(p geom.Point) float64 {
+	return e.Cost.SpikeEnergy(p.L1())
+}
+
+// AtUnit implements Potential.
+func (e EnergyPotential) AtUnit() float64 { return e.Cost.SpikeEnergy(1) }
+
+// AtZero implements Potential.
+func (e EnergyPotential) AtZero() float64 { return e.Cost.SpikeEnergy(0) }
+
+// PotentialByName returns the named potential; "energy" uses the provided
+// cost model.
+func PotentialByName(name string, cost hw.CostModel) (Potential, error) {
+	switch name {
+	case "l1":
+		return L1{}, nil
+	case "l1sq":
+		return L1Sq{}, nil
+	case "l2sq":
+		return L2Sq{}, nil
+	case "energy":
+		return EnergyPotential{Cost: cost}, nil
+	}
+	return nil, fmt.Errorf("mapping: unknown potential %q", name)
+}

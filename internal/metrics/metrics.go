@@ -1,0 +1,200 @@
+// Package metrics implements the five placement-quality metrics of §3.3:
+// energy consumption (Eq. 9), average and maximum spike latency (Eqs.
+// 10–11), and average and maximum router congestion (Eqs. 12–14) with the
+// expectation function of Algorithm 4.
+package metrics
+
+import (
+	"fmt"
+
+	"snnmap/internal/geom"
+	"snnmap/internal/hw"
+	"snnmap/internal/pcn"
+	"snnmap/internal/place"
+)
+
+// Summary holds the evaluated metrics for one placement.
+type Summary struct {
+	// Energy is M_ec (Eq. 9): total interconnect energy for all spikes.
+	Energy float64
+	// AvgLatency is M_al (Eq. 10): traffic-weighted mean spike latency.
+	AvgLatency float64
+	// MaxLatency is M_ml (Eq. 11): the worst single-connection latency.
+	MaxLatency float64
+	// AvgCongestion is M_ac (Eq. 12): mean router congestion.
+	AvgCongestion float64
+	// MaxCongestion is M_mc (Eq. 14): the hottest router's congestion.
+	MaxCongestion float64
+}
+
+// String implements fmt.Stringer with a compact fixed-order rendering.
+func (s Summary) String() string {
+	return fmt.Sprintf("energy=%.4g avgLat=%.4g maxLat=%.4g avgCon=%.4g maxCon=%.4g",
+		s.Energy, s.AvgLatency, s.MaxLatency, s.AvgCongestion, s.MaxCongestion)
+}
+
+// Normalize returns s with every metric divided by the corresponding metric
+// of the baseline (the presentation used throughout Figures 8 and 10–12).
+// Zero baseline entries normalize to zero.
+func (s Summary) Normalize(baseline Summary) Summary {
+	div := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	return Summary{
+		Energy:        div(s.Energy, baseline.Energy),
+		AvgLatency:    div(s.AvgLatency, baseline.AvgLatency),
+		MaxLatency:    div(s.MaxLatency, baseline.MaxLatency),
+		AvgCongestion: div(s.AvgCongestion, baseline.AvgCongestion),
+		MaxCongestion: div(s.MaxCongestion, baseline.MaxCongestion),
+	}
+}
+
+// CongestionMode selects how the congestion grid is computed.
+type CongestionMode int
+
+const (
+	// CongestionAuto computes the exact grid when the estimated work is
+	// affordable and falls back to deterministic edge sampling otherwise.
+	CongestionAuto CongestionMode = iota
+	// CongestionExact always accumulates every edge's expectation grid.
+	CongestionExact
+	// CongestionSampled accumulates a deterministic stride sample of edges
+	// and rescales by the sampled traffic share.
+	CongestionSampled
+	// CongestionSkip leaves both congestion metrics zero (useful when only
+	// energy/latency matter, e.g. inside optimization loops).
+	CongestionSkip
+)
+
+// Options tunes Evaluate.
+type Options struct {
+	// Congestion selects the congestion computation mode.
+	Congestion CongestionMode
+	// SampleEdges caps the number of edges accumulated in sampled mode
+	// (default 200 000).
+	SampleEdges int
+	// ExactWorkLimit bounds Σ bounding-box areas for CongestionAuto to
+	// choose the exact path (default 500 000 000).
+	ExactWorkLimit int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SampleEdges <= 0 {
+		o.SampleEdges = 200_000
+	}
+	if o.ExactWorkLimit <= 0 {
+		o.ExactWorkLimit = 500_000_000
+	}
+	return o
+}
+
+// Evaluate computes all five metrics of §3.3 for the placement.
+func Evaluate(p *pcn.PCN, pl *place.Placement, cost hw.CostModel, opts Options) Summary {
+	opts = opts.withDefaults()
+	var s Summary
+	mesh := pl.Mesh
+
+	var totalWeight float64
+	var weightedLatency float64
+	var bboxWork int64
+	for c := 0; c < p.NumClusters; c++ {
+		src := pl.Of(c)
+		tos, ws := p.OutEdges(c)
+		for k, to := range tos {
+			dst := pl.Of(int(to))
+			d := geom.Manhattan(src, dst)
+			w := ws[k]
+			s.Energy += w * cost.SpikeEnergy(d)
+			lat := cost.SpikeLatency(d)
+			weightedLatency += w * lat
+			if lat > s.MaxLatency {
+				s.MaxLatency = lat
+			}
+			totalWeight += w
+			// Every spike visits d+1 routers, so the edge contributes
+			// w*(d+1) to the congestion grid total regardless of mode;
+			// the average (Eq. 12) is therefore exact and cheap.
+			s.AvgCongestion += w * float64(d+1)
+			bboxWork += int64(geom.Abs(src.X-dst.X)+1) * int64(geom.Abs(src.Y-dst.Y)+1)
+		}
+	}
+	if totalWeight > 0 {
+		s.AvgLatency = weightedLatency / totalWeight
+	}
+	s.AvgCongestion /= float64(mesh.Cores())
+
+	mode := opts.Congestion
+	if mode == CongestionAuto {
+		if bboxWork <= opts.ExactWorkLimit {
+			mode = CongestionExact
+		} else {
+			mode = CongestionSampled
+		}
+	}
+	switch mode {
+	case CongestionExact:
+		grid := CongestionGrid(p, pl, 1)
+		s.MaxCongestion = maxOf(grid)
+	case CongestionSampled:
+		stride := 1
+		if e := int(p.NumEdges()); e > opts.SampleEdges {
+			stride = (e + opts.SampleEdges - 1) / opts.SampleEdges
+		}
+		grid := CongestionGrid(p, pl, stride)
+		if stride > 1 {
+			// Rescale by the sampled traffic share so the grid estimates
+			// the full-population congestion.
+			var sampled float64
+			for i, w := range p.OutW {
+				if i%stride == 0 {
+					sampled += w
+				}
+			}
+			if sampled > 0 {
+				scale := totalWeight / sampled
+				for i := range grid {
+					grid[i] *= scale
+				}
+			}
+		}
+		s.MaxCongestion = maxOf(grid)
+	case CongestionSkip:
+	}
+	return s
+}
+
+func maxOf(grid []float64) float64 {
+	var max float64
+	for _, v := range grid {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// CongestionGrid accumulates Con(x,y) (Eq. 13) over every stride-th edge of
+// the PCN and returns the router grid in row-major order. stride 1 is exact.
+func CongestionGrid(p *pcn.PCN, pl *place.Placement, stride int) []float64 {
+	if stride < 1 {
+		stride = 1
+	}
+	mesh := pl.Mesh
+	grid := make([]float64, mesh.Cores())
+	var acc expeAccumulator
+	edgeIdx := 0
+	for c := 0; c < p.NumClusters; c++ {
+		src := pl.Of(c)
+		tos, ws := p.OutEdges(c)
+		for k, to := range tos {
+			if edgeIdx%stride == 0 {
+				acc.accumulate(grid, mesh, src, pl.Of(int(to)), ws[k])
+			}
+			edgeIdx++
+		}
+	}
+	return grid
+}

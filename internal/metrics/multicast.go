@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"sort"
+
+	"snnmap/internal/geom"
+	"snnmap/internal/hw"
+	"snnmap/internal/pcn"
+	"snnmap/internal/place"
+)
+
+// Multicast extension. The paper's metrics (Eq. 9) charge every PCN edge
+// independently — unicast routing, where a spike destined to k clusters is
+// sent k times. Large neuromorphic NoCs (SpiNNaker's multicast router,
+// TrueNorth's spike duplication) instead route one copy along a tree and
+// fork at branch points. MulticastEnergy evaluates a placement under that
+// model: per source cluster, spikes follow a dimension-ordered (column-
+// first, matching the simulator's XY order) multicast tree, and each link
+// or router carries only the *maximum* downstream demand (nested spike
+// streams), which is the optimistic lower bound of tree routing.
+//
+// Invariants (tested): multicast energy never exceeds the unicast energy,
+// and equals it when every source has at most one target.
+
+// MulticastSummary reports the tree-routing evaluation.
+type MulticastSummary struct {
+	// Energy is the multicast interconnect energy (same units as Eq. 9).
+	Energy float64
+	// UnicastEnergy is the paper's Eq. 9 value for comparison.
+	UnicastEnergy float64
+	// LinkTraversals and RouterTraversals are total weighted loads.
+	LinkTraversals, RouterTraversals float64
+}
+
+// Saving returns the fraction of unicast energy removed by multicast
+// routing (0 when unicast is zero).
+func (m MulticastSummary) Saving() float64 {
+	if m.UnicastEnergy == 0 {
+		return 0
+	}
+	return 1 - m.Energy/m.UnicastEnergy
+}
+
+// mcTarget is one multicast destination with its traffic demand.
+type mcTarget struct {
+	pos geom.Point
+	w   float64
+}
+
+// MulticastEnergy evaluates the placement under dimension-ordered multicast
+// tree routing.
+func MulticastEnergy(p *pcn.PCN, pl *place.Placement, cost hw.CostModel) MulticastSummary {
+	var s MulticastSummary
+
+	var targets []mcTarget
+	for c := 0; c < p.NumClusters; c++ {
+		src := pl.Of(c)
+		tos, ws := p.OutEdges(c)
+		if len(tos) == 0 {
+			continue
+		}
+		targets = targets[:0]
+		for k, to := range tos {
+			dst := pl.Of(int(to))
+			w := ws[k]
+			targets = append(targets, mcTarget{pos: dst, w: w})
+			d := geom.Manhattan(src, dst)
+			s.UnicastEnergy += w * cost.SpikeEnergy(d)
+		}
+
+		// The tree: one horizontal trunk along the source row, branching
+		// vertically at each target column. Column-first order matches the
+		// XY routing of the NoC substrate.
+		//
+		// Vertical branch loads: group targets by column; within a column,
+		// the segment from the source row to a target is shared by all
+		// targets at least as far, so each vertical link carries the max
+		// weight among targets at or beyond it.
+		sort.Slice(targets, func(a, b int) bool {
+			if targets[a].pos.Y != targets[b].pos.Y {
+				return targets[a].pos.Y < targets[b].pos.Y
+			}
+			return targets[a].pos.X < targets[b].pos.X
+		})
+
+		// Source router carries the maximum demand of the whole set.
+		var totalMax float64
+		for _, t := range targets {
+			if t.w > totalMax {
+				totalMax = t.w
+			}
+		}
+		s.RouterTraversals += totalMax
+
+		// Horizontal trunk to the right of the source: link (y → y+1)
+		// carries the max weight among targets with column > y; routers on
+		// the trunk carry the max among targets with column ≥ y (they also
+		// feed that column's vertical branch). Symmetrically to the left.
+		s.accumTrunk(src, targets, +1)
+		s.accumTrunk(src, targets, -1)
+
+		// Vertical branches (including the source's own column).
+		s.accumBranches(src, targets)
+	}
+	s.Energy = s.RouterTraversals*cost.RouterEnergy + s.LinkTraversals*cost.WireEnergy
+	return s
+}
+
+// accumTrunk walks the horizontal trunk in direction dir (+1 right, -1
+// left) and accumulates link and router loads.
+func (s *MulticastSummary) accumTrunk(src geom.Point, targets []mcTarget, dir int) {
+	// Farthest needed column in this direction and suffix maxima.
+	// Collect targets strictly beyond the source column in direction dir.
+	type colMax struct {
+		y int
+		w float64
+	}
+	var cols []colMax
+	for _, t := range targets {
+		if dir > 0 && t.pos.Y <= src.Y {
+			continue
+		}
+		if dir < 0 && t.pos.Y >= src.Y {
+			continue
+		}
+		if len(cols) > 0 && cols[len(cols)-1].y == t.pos.Y {
+			if t.w > cols[len(cols)-1].w {
+				cols[len(cols)-1].w = t.w
+			}
+			continue
+		}
+		cols = append(cols, colMax{y: t.pos.Y, w: t.w})
+	}
+	if len(cols) == 0 {
+		return
+	}
+	// Order columns by increasing distance from the source.
+	sort.Slice(cols, func(a, b int) bool {
+		return geom.Abs(cols[a].y-src.Y) < geom.Abs(cols[b].y-src.Y)
+	})
+	// Suffix maxima: load beyond column index i.
+	suffix := make([]float64, len(cols)+1)
+	for i := len(cols) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1]
+		if cols[i].w > suffix[i] {
+			suffix[i] = cols[i].w
+		}
+	}
+	// Walk links from the source to the farthest column; the link entering
+	// column cols[i].y (and every link before it since the previous
+	// column) carries suffix[i]; the router at cols[i].y carries
+	// suffix[i] too (it serves that column's branch and everything
+	// beyond).
+	prevY := src.Y
+	for i := range cols {
+		span := geom.Abs(cols[i].y - prevY)
+		s.LinkTraversals += float64(span) * suffix[i]
+		// Intermediate pass-through routers between prevY and cols[i].y
+		// (exclusive) also carry suffix[i].
+		if span > 1 {
+			s.RouterTraversals += float64(span-1) * suffix[i]
+		}
+		s.RouterTraversals += suffix[i] // the branch router at cols[i].y
+		prevY = cols[i].y
+	}
+}
+
+// accumBranches accumulates the vertical branch loads per column.
+func (s *MulticastSummary) accumBranches(src geom.Point, targets []mcTarget) {
+	i := 0
+	for i < len(targets) {
+		j := i
+		col := targets[i].pos.Y
+		for j < len(targets) && targets[j].pos.Y == col {
+			j++
+		}
+		colTargets := targets[i:j]
+		i = j
+		// Split into above and below the source row; each side is a chain
+		// from the trunk router toward the farthest target, where each
+		// link carries the max among targets at or beyond it. Targets
+		// exactly on the trunk row are already delivered by the trunk
+		// router accumTrunk charged (the source router for the source's
+		// own column), matching Eq. 9's (d+1) router count.
+		s.accumChain(src.X, colTargets, +1)
+		s.accumChain(src.X, colTargets, -1)
+	}
+}
+
+// accumChain charges the vertical run in direction dir (+1 = increasing
+// row) of one column's targets.
+func (s *MulticastSummary) accumChain(srcRow int, colTargets []mcTarget, dir int) {
+	type rowMax struct {
+		x int
+		w float64
+	}
+	var rows []rowMax
+	for _, t := range colTargets {
+		if dir > 0 && t.pos.X <= srcRow {
+			continue
+		}
+		if dir < 0 && t.pos.X >= srcRow {
+			continue
+		}
+		rows = append(rows, rowMax{x: t.pos.X, w: t.w})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		return geom.Abs(rows[a].x-srcRow) < geom.Abs(rows[b].x-srcRow)
+	})
+	suffix := make([]float64, len(rows)+1)
+	for i := len(rows) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1]
+		if rows[i].w > suffix[i] {
+			suffix[i] = rows[i].w
+		}
+	}
+	prevX := srcRow
+	for i := range rows {
+		span := geom.Abs(rows[i].x - prevX)
+		s.LinkTraversals += float64(span) * suffix[i]
+		if span > 1 {
+			s.RouterTraversals += float64(span-1) * suffix[i]
+		}
+		s.RouterTraversals += suffix[i]
+		prevX = rows[i].x
+	}
+}

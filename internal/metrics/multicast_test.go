@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"snnmap/internal/geom"
+	"snnmap/internal/hw"
+	"snnmap/internal/pcn"
+	"snnmap/internal/place"
+	"snnmap/internal/snn"
+)
+
+func multiPCN(t *testing.T, edges [][3]float64, n int) *pcn.PCN {
+	t.Helper()
+	var b snn.GraphBuilder
+	b.AddNeurons(n, -1)
+	for _, e := range edges {
+		b.AddSynapse(int(e[0]), int(e[1]), e[2])
+	}
+	res, err := pcn.Partition(b.Build(), pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.PCN
+}
+
+func TestMulticastEqualsUnicastSingleTarget(t *testing.T) {
+	p := multiPCN(t, [][3]float64{{0, 1, 7}}, 2)
+	mesh := hw.MustMesh(4, 4)
+	pl := placeAt(t, p, mesh, geom.Point{X: 1, Y: 0}, geom.Point{X: 3, Y: 3})
+	cost := hw.DefaultCostModel()
+	s := MulticastEnergy(p, pl, cost)
+	if math.Abs(s.Energy-s.UnicastEnergy) > 1e-9 {
+		t.Errorf("single-target multicast %g != unicast %g", s.Energy, s.UnicastEnergy)
+	}
+	if want := 7 * cost.SpikeEnergy(5); math.Abs(s.UnicastEnergy-want) > 1e-9 {
+		t.Errorf("unicast = %g, want %g", s.UnicastEnergy, want)
+	}
+}
+
+func TestMulticastSharedTrunkHandChecked(t *testing.T) {
+	// Source at (0,0); targets on the same row at columns 2 (w=3) and 5
+	// (w=5). The shared trunk carries max(3,5)=5 on every link.
+	p := multiPCN(t, [][3]float64{{0, 1, 3}, {0, 2, 5}}, 3)
+	mesh := hw.MustMesh(1, 6)
+	pl := placeAt(t, p, mesh, geom.Point{X: 0, Y: 0}, geom.Point{X: 0, Y: 2}, geom.Point{X: 0, Y: 5})
+	cost := hw.CostModel{RouterEnergy: 1, WireEnergy: 1}
+	s := MulticastEnergy(p, pl, cost)
+	// Links: 5 links × load 5 = 25. Routers: source(5) + 4 intermediate(5)
+	// + branch@2(5) + branch@5 is among them... routers on path: columns
+	// 0..5 = 6 routers × 5 = 30.
+	if math.Abs(s.LinkTraversals-25) > 1e-9 {
+		t.Errorf("links = %g, want 25", s.LinkTraversals)
+	}
+	if math.Abs(s.RouterTraversals-30) > 1e-9 {
+		t.Errorf("routers = %g, want 30", s.RouterTraversals)
+	}
+	// Unicast: (3·(2+3)) + (5·(5+6)) links+routers = 3·2+5·5 links=31,
+	// routers 3·3+5·6=39.
+	if want := 31.0 + 39.0; math.Abs(s.UnicastEnergy-want) > 1e-9 {
+		t.Errorf("unicast = %g, want %g", s.UnicastEnergy, want)
+	}
+	if s.Saving() <= 0 {
+		t.Errorf("expected positive saving, got %g", s.Saving())
+	}
+}
+
+func TestMulticastDiagonalBranch(t *testing.T) {
+	// One target off-row: tree = trunk + vertical chain; totals match the
+	// unicast L-path for a single target.
+	p := multiPCN(t, [][3]float64{{0, 1, 2}}, 2)
+	mesh := hw.MustMesh(4, 4)
+	pl := placeAt(t, p, mesh, geom.Point{X: 0, Y: 0}, geom.Point{X: 2, Y: 3})
+	cost := hw.CostModel{RouterEnergy: 1, WireEnergy: 1}
+	s := MulticastEnergy(p, pl, cost)
+	if math.Abs(s.LinkTraversals-2*5) > 1e-9 {
+		t.Errorf("links = %g, want 10", s.LinkTraversals)
+	}
+	if math.Abs(s.RouterTraversals-2*6) > 1e-9 {
+		t.Errorf("routers = %g, want 12", s.RouterTraversals)
+	}
+}
+
+func TestMulticastNeverExceedsUnicast(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 2
+		var edges [][3]float64
+		for e := 0; e < rng.Intn(60); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, [3]float64{float64(u), float64(v), float64(rng.Intn(9) + 1)})
+			}
+		}
+		var b snn.GraphBuilder
+		b.AddNeurons(n, -1)
+		for _, e := range edges {
+			b.AddSynapse(int(e[0]), int(e[1]), e[2])
+		}
+		res, err := pcn.Partition(b.Build(), pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+		if err != nil {
+			return false
+		}
+		side := 1
+		for side*side < n {
+			side++
+		}
+		mesh := hw.MustMesh(side, side)
+		pl, err := place.Random(n, mesh, rng)
+		if err != nil {
+			return false
+		}
+		s := MulticastEnergy(res.PCN, pl, hw.DefaultCostModel())
+		return s.Energy <= s.UnicastEnergy+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulticastUnicastMatchesEvaluate(t *testing.T) {
+	g := snn.FullyConnected(3, 8)
+	res, err := pcn.Partition(g, pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := hw.MustMesh(3, 3)
+	pl, err := place.Sequential(res.PCN.NumClusters, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := hw.DefaultCostModel()
+	mc := MulticastEnergy(res.PCN, pl, cost)
+	ev := Evaluate(res.PCN, pl, cost, Options{Congestion: CongestionSkip})
+	if math.Abs(mc.UnicastEnergy-ev.Energy) > 1e-9 {
+		t.Errorf("multicast's unicast reference %g != Evaluate %g", mc.UnicastEnergy, ev.Energy)
+	}
+}
+
+func TestMulticastSavingZeroOnEmpty(t *testing.T) {
+	p := &pcn.PCN{NumClusters: 1, Neurons: []int32{1}, Synapses: []int64{0}, Layer: []int32{-1}, OutOff: []int64{0, 0}}
+	mesh := hw.MustMesh(1, 1)
+	pl, err := place.Sequential(1, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MulticastEnergy(p, pl, hw.DefaultCostModel())
+	if s.Energy != 0 || s.Saving() != 0 {
+		t.Errorf("empty PCN: %+v", s)
+	}
+}

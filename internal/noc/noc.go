@@ -1,0 +1,357 @@
+// Package noc is the hardware substrate behind the paper's evaluation: a
+// spike-level simulator of the 2D-mesh network-on-chip of §3.1. Each core's
+// router has output queues toward its four neighbors plus a local delivery
+// port; spikes are single-flit messages routed dimension-ordered (X first,
+// then Y) with one flit per port per cycle.
+//
+// The simulator cross-validates the closed-form metrics of §3.3: with
+// uncontended traffic a spike crossing h links is serviced by h+1 routers,
+// so simulated traversal counts reproduce Eq. 9's energy and Eq. 10's
+// latency exactly, while contention exposes the queueing effects that the
+// congestion metrics (Eqs. 12-14) summarize.
+package noc
+
+import (
+	"fmt"
+
+	"snnmap/internal/geom"
+	"snnmap/internal/hw"
+	"snnmap/internal/pcn"
+	"snnmap/internal/place"
+)
+
+// Config tunes a simulation run.
+// Routing selects the simulator's route computation.
+type Routing uint8
+
+const (
+	// RouteXY is dimension-ordered column-first routing (the default, and
+	// the model behind Algorithm 4's expectation).
+	RouteXY Routing = iota
+	// RouteYX is dimension-ordered row-first routing.
+	RouteYX
+	// RouteO1Turn picks XY or YX per spike from a deterministic hash of
+	// its endpoints, balancing load across the two dimension orders. It
+	// needs unbounded buffers (a real O1TURN router uses two virtual
+	// channels to stay deadlock-free), so it rejects QueueCap > 0.
+	RouteO1Turn
+)
+
+// String implements fmt.Stringer.
+func (r Routing) String() string {
+	switch r {
+	case RouteXY:
+		return "xy"
+	case RouteYX:
+		return "yx"
+	case RouteO1Turn:
+		return "o1turn"
+	}
+	return fmt.Sprintf("Routing(%d)", uint8(r))
+}
+
+type Config struct {
+	// Cost converts traversal counts into energy and ideal latency; the
+	// zero value means hw.DefaultCostModel().
+	Cost hw.CostModel
+	// Routing selects the route computation (default RouteXY).
+	Routing Routing
+	// QueueCap bounds every output queue; a full downstream queue
+	// backpressures the upstream router (credit-based store-and-forward).
+	// Dimension-ordered routing keeps the channel dependency graph acyclic,
+	// so bounded runs stay deadlock-free. 0 means unbounded.
+	QueueCap int
+	// SpikesPerUnit scales PCN edge weights into injected spike counts
+	// (each edge injects max(1, round(w·SpikesPerUnit)) spikes). Zero
+	// means 1.
+	SpikesPerUnit float64
+	// InjectionInterval is the gap in cycles between consecutive spikes of
+	// the same edge (1 = back-to-back). Zero means 1.
+	InjectionInterval int
+	// MaxCycles aborts runaway simulations. Zero means 10_000_000.
+	MaxCycles int
+	// MaxSpikes caps the total injected spike count to keep memory
+	// bounded. Zero means 5_000_000.
+	MaxSpikes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cost == (hw.CostModel{}) {
+		c.Cost = hw.DefaultCostModel()
+	}
+	if c.SpikesPerUnit <= 0 {
+		c.SpikesPerUnit = 1
+	}
+	if c.InjectionInterval <= 0 {
+		c.InjectionInterval = 1
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 10_000_000
+	}
+	if c.MaxSpikes <= 0 {
+		c.MaxSpikes = 5_000_000
+	}
+	return c
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	// Injected and Delivered are spike counts; a completed run has them
+	// equal.
+	Injected, Delivered int64
+	// Cycles is the simulated cycle count until the network drained.
+	Cycles int
+	// RouterTraversals counts service events per router (the simulated
+	// analogue of Eq. 13's congestion), row-major over the mesh.
+	RouterTraversals []int64
+	// WireTraversals counts link crossings in total.
+	WireTraversals int64
+	// Energy is EN_r·router traversals + EN_w·wire traversals — the
+	// simulated M_ec.
+	Energy float64
+	// AvgLatencyCycles and MaxLatencyCycles measure injection-to-delivery
+	// time, including queueing (the ideal, uncontended value for a spike
+	// crossing h links is h+1 cycles).
+	AvgLatencyCycles float64
+	MaxLatencyCycles int
+	// AvgHops is the mean link count per delivered spike.
+	AvgHops float64
+	// MaxQueueLen is the peak occupancy of any output queue.
+	MaxQueueLen int
+	// Stalls counts cycles×flits blocked by a full downstream queue
+	// (nonzero only with QueueCap > 0).
+	Stalls int64
+	// InjectionStalls counts injections deferred by a full source queue.
+	InjectionStalls int64
+}
+
+// flit is one in-flight spike.
+type flit struct {
+	dst      int32 // destination core index
+	injected int32 // injection cycle
+	yx       bool  // row-first dimension order (RouteYX / O1Turn choice)
+}
+
+// queue is a FIFO of flits with amortized O(1) operations.
+type queue struct {
+	items []flit
+	head  int
+}
+
+func (q *queue) push(f flit) { q.items = append(q.items, f) }
+func (q *queue) len() int    { return len(q.items) - q.head }
+func (q *queue) peek() flit  { return q.items[q.head] }
+func (q *queue) pop() flit {
+	f := q.items[q.head]
+	q.head++
+	if q.head > 1024 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return f
+}
+
+// Simulate injects the PCN's traffic into the mesh under the placement and
+// runs until every spike is delivered (or a limit is hit, returning an
+// error).
+func Simulate(p *pcn.PCN, pl *place.Placement, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Routing == RouteO1Turn && cfg.QueueCap > 0 {
+		return Result{}, fmt.Errorf("noc: O1Turn routing requires unbounded queues (it needs virtual channels to stay deadlock-free)")
+	}
+	mesh := pl.Mesh
+	cores := mesh.Cores()
+
+	// Build the injection schedule: per edge, a spike train.
+	type train struct {
+		src, dst int32
+		count    int32
+		next     int32 // next injection cycle
+	}
+	var trains []train
+	var res Result
+	for c := 0; c < p.NumClusters; c++ {
+		src := pl.PosOf[c]
+		tos, ws := p.OutEdges(c)
+		for k, to := range tos {
+			n := int64(ws[k]*cfg.SpikesPerUnit + 0.5)
+			if n < 1 {
+				n = 1
+			}
+			if res.Injected+n > cfg.MaxSpikes {
+				return Result{}, fmt.Errorf("noc: workload needs more than MaxSpikes=%d spikes; lower SpikesPerUnit", cfg.MaxSpikes)
+			}
+			res.Injected += n
+			trains = append(trains, train{src: src, dst: pl.PosOf[to], count: int32(n)})
+		}
+	}
+
+	// Five output queues per router: 4 directions + local delivery.
+	const local = 4
+	queues := make([]queue, cores*5)
+	res.RouterTraversals = make([]int64, cores)
+
+	// route decides the output port at router idx for the flit under its
+	// dimension order: column-first (XY) or row-first (YX).
+	route := func(idx int, f flit) int {
+		r, c := idx/mesh.Cols, idx%mesh.Cols
+		dr, dc := int(f.dst)/mesh.Cols, int(f.dst)%mesh.Cols
+		if f.yx {
+			switch {
+			case dr > r:
+				return int(geom.Down)
+			case dr < r:
+				return int(geom.Up)
+			case dc > c:
+				return int(geom.Right)
+			case dc < c:
+				return int(geom.Left)
+			}
+			return local
+		}
+		switch {
+		case dc > c:
+			return int(geom.Right)
+		case dc < c:
+			return int(geom.Left)
+		case dr > r:
+			return int(geom.Down)
+		case dr < r:
+			return int(geom.Up)
+		}
+		return local
+	}
+	// orientation decides a flit's dimension order at injection time.
+	orientation := func(src, dst int32) bool {
+		switch cfg.Routing {
+		case RouteYX:
+			return true
+		case RouteO1Turn:
+			// Deterministic per-pair hash balances the two orders. The
+			// low bit must mix all input bits (a plain multiply-xor
+			// degenerates to input parity), so finish with avalanche
+			// shifts.
+			h := uint32(src)*2654435761 ^ uint32(dst)*2246822519
+			h ^= h >> 13
+			h *= 0x5bd1e995
+			h ^= h >> 15
+			return h&1 == 1
+		}
+		return false
+	}
+	neighbor := func(idx, port int) int {
+		switch geom.Dir(port) {
+		case geom.Up:
+			return idx - mesh.Cols
+		case geom.Down:
+			return idx + mesh.Cols
+		case geom.Right:
+			return idx + 1
+		case geom.Left:
+			return idx - 1
+		}
+		return idx
+	}
+
+	var latencySum int64
+	inFlight := int64(0)
+	pendingTrains := len(trains)
+
+	for cycle := 0; ; cycle++ {
+		if cycle > cfg.MaxCycles {
+			return Result{}, fmt.Errorf("noc: exceeded MaxCycles=%d with %d spikes in flight", cfg.MaxCycles, inFlight)
+		}
+		// Inject due spikes (the source router services them like any
+		// other traffic by entering its queues directly). A full source
+		// queue defers the injection to the next cycle.
+		if pendingTrains > 0 && cycle%cfg.InjectionInterval == 0 {
+			for ti := range trains {
+				t := &trains[ti]
+				if t.count == 0 {
+					continue
+				}
+				f := flit{dst: t.dst, injected: int32(cycle), yx: orientation(t.src, t.dst)}
+				port := route(int(t.src), f)
+				q := &queues[int(t.src)*5+port]
+				if cfg.QueueCap > 0 && q.len() >= cfg.QueueCap {
+					res.InjectionStalls++
+					continue
+				}
+				t.count--
+				if t.count == 0 {
+					pendingTrains--
+				}
+				q.push(f)
+				if q.len() > res.MaxQueueLen {
+					res.MaxQueueLen = q.len()
+				}
+				res.RouterTraversals[t.src]++
+				inFlight++
+			}
+		}
+		if inFlight == 0 && pendingTrains == 0 {
+			res.Cycles = cycle
+			break
+		}
+		// Service one flit per output port. Two-phase (collect candidates,
+		// then apply) so a flit moves at most one hop per cycle; with
+		// bounded queues a candidate whose downstream queue is full stays
+		// put (credit-based backpressure), applied in deterministic router
+		// order.
+		type candidate struct {
+			src int // source queue index in queues
+			to  int // destination router
+		}
+		var candidates []candidate
+		for idx := 0; idx < cores; idx++ {
+			base := idx * 5
+			for port := 0; port < 5; port++ {
+				q := &queues[base+port]
+				if q.len() == 0 {
+					continue
+				}
+				if port == local {
+					f := q.pop()
+					res.Delivered++
+					inFlight--
+					lat := int(int32(cycle) - f.injected + 1)
+					latencySum += int64(lat)
+					if lat > res.MaxLatencyCycles {
+						res.MaxLatencyCycles = lat
+					}
+					continue
+				}
+				candidates = append(candidates, candidate{src: base + port, to: neighbor(idx, port)})
+			}
+		}
+		for _, m := range candidates {
+			src := &queues[m.src]
+			f := src.peek()
+			port := route(m.to, f)
+			q := &queues[m.to*5+port]
+			if cfg.QueueCap > 0 && q.len() >= cfg.QueueCap {
+				res.Stalls++
+				continue
+			}
+			src.pop()
+			res.WireTraversals++
+			q.push(f)
+			if q.len() > res.MaxQueueLen {
+				res.MaxQueueLen = q.len()
+			}
+			res.RouterTraversals[m.to]++
+		}
+	}
+
+	var totalRouter int64
+	for _, t := range res.RouterTraversals {
+		totalRouter += t
+	}
+	res.Energy = cfg.Cost.RouterEnergy*float64(totalRouter) + cfg.Cost.WireEnergy*float64(res.WireTraversals)
+	if res.Delivered > 0 {
+		res.AvgLatencyCycles = float64(latencySum) / float64(res.Delivered)
+		res.AvgHops = float64(res.WireTraversals) / float64(res.Delivered)
+	}
+	return res, nil
+}

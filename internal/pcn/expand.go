@@ -1,0 +1,127 @@
+package pcn
+
+import (
+	"fmt"
+
+	"snnmap/internal/snn"
+)
+
+// Expand partitions a layer-spec Net analytically: every layer is cut into
+// ceil(neurons/CON_npc) clusters (per-layer partitioning, matching
+// Algorithm 1 on a layer-major neuron order), and each Conn is expanded into
+// cluster-level edges according to its Pattern, with weights equal to the
+// total spike traffic (synapse count × source spike density) attributed to
+// each cluster pair. The result is identical in structure to running
+// Algorithm 1 on the materialized graph, but needs no neuron storage.
+func Expand(n *snn.Net, cfg PartitionConfig) (*PCN, error) {
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("pcn: invalid net: %w", err)
+	}
+	npc := cfg.Constraints.NeuronsPerCore
+	if npc <= 0 {
+		return nil, fmt.Errorf("pcn: expand requires a positive CON_npc, got %d", npc)
+	}
+
+	// Per-layer fan-in (synapses per neuron) for the synapse constraint and
+	// per-cluster synapse accounting.
+	layerFanIn := make([]int64, len(n.Layers))
+	for _, c := range n.Conns {
+		layerFanIn[c.To] += c.FanIn
+	}
+
+	p := &PCN{Name: n.Name}
+	firstCluster := make([]int, len(n.Layers)) // first cluster index per layer
+	clustersOf := make([]int, len(n.Layers))   // cluster count per layer
+	for li, l := range n.Layers {
+		per := int64(npc)
+		if cfg.EnforceSynapses && cfg.Constraints.SynapsesPerCore > 0 && layerFanIn[li] > 0 {
+			bySyn := int64(cfg.Constraints.SynapsesPerCore) / layerFanIn[li]
+			if bySyn < 1 {
+				bySyn = 1
+			}
+			if bySyn < per {
+				per = bySyn
+			}
+		}
+		count := int((l.Neurons + per - 1) / per)
+		firstCluster[li] = p.NumClusters
+		clustersOf[li] = count
+		for ci := 0; ci < count; ci++ {
+			neurons := per
+			if ci == count-1 {
+				neurons = l.Neurons - per*int64(count-1)
+			}
+			p.Neurons = append(p.Neurons, int32(neurons))
+			p.Synapses = append(p.Synapses, neurons*layerFanIn[li])
+			p.Layer = append(p.Layer, int32(li))
+			p.NumClusters++
+		}
+	}
+
+	// Expand connections. Weight bookkeeping: a Conn carries total traffic
+	// T = To.Neurons × FanIn × rate(From); each target cluster receives its
+	// neuron-proportional share, split across its source clusters.
+	var from, to []int32
+	var w []float64
+	appendEdge := func(f, t int, weight float64) {
+		if f == t {
+			p.InternalTraffic += weight
+			return
+		}
+		from = append(from, int32(f))
+		to = append(to, int32(t))
+		w = append(w, weight)
+	}
+	for _, c := range n.Conns {
+		fc, tc := clustersOf[c.From], clustersOf[c.To]
+		f0, t0 := firstCluster[c.From], firstCluster[c.To]
+		rate := n.RateOf(c.From)
+		for tj := 0; tj < tc; tj++ {
+			targetTraffic := float64(p.Neurons[t0+tj]) * float64(c.FanIn) * rate
+			switch c.Pattern {
+			case snn.Dense:
+				// Source clusters contribute in proportion to their size.
+				srcNeurons := float64(n.Layers[c.From].Neurons)
+				for fi := 0; fi < fc; fi++ {
+					share := float64(p.Neurons[f0+fi]) / srcNeurons
+					appendEdge(f0+fi, t0+tj, targetTraffic*share)
+				}
+			case snn.Local:
+				window := c.Window
+				if window < 1 {
+					window = 1
+				}
+				if window > fc {
+					window = fc
+				}
+				center := proportional(tj, tc, fc)
+				start := center - (window-1)/2
+				if start < 0 {
+					start = 0
+				}
+				if start+window > fc {
+					start = fc - window
+				}
+				share := targetTraffic / float64(window)
+				for fi := start; fi < start+window; fi++ {
+					appendEdge(f0+fi, t0+tj, share)
+				}
+			case snn.OneToOne:
+				appendEdge(f0+proportional(tj, tc, fc), t0+tj, targetTraffic)
+			default:
+				return nil, fmt.Errorf("pcn: unknown pattern %v in net %q", c.Pattern, n.Name)
+			}
+		}
+	}
+	buildCSR(p, from, to, w)
+	return p, nil
+}
+
+// proportional maps index j of a tc-element sequence onto an fc-element
+// sequence, preserving endpoints.
+func proportional(j, tc, fc int) int {
+	if tc <= 1 {
+		return 0
+	}
+	return int(int64(j) * int64(fc-1) / int64(tc-1))
+}

@@ -1,0 +1,212 @@
+package pcn
+
+import (
+	"math"
+	"testing"
+
+	"snnmap/internal/hw"
+	"snnmap/internal/snn"
+)
+
+func TestExpandSyntheticShapes(t *testing.T) {
+	cases := []struct {
+		net      *snn.Net
+		clusters int
+		edges    int64
+	}{
+		{snn.DNN65K(), 16, 48},       // 3 layer pairs × 4×4 dense
+		{snn.DNN16M(), 4096, 258048}, // 63 × 64×64
+		{snn.CNN65K(), 16, 48},       // window 4 on 4-cluster layers = dense
+		{snn.CNN16M(), 4096, 16128},  // 63 × 64 × 4
+	}
+	for _, c := range cases {
+		p, err := Expand(c.net, DefaultPartition())
+		if err != nil {
+			t.Fatalf("%s: %v", c.net.Name, err)
+		}
+		if p.NumClusters != c.clusters {
+			t.Errorf("%s clusters = %d, want %d", c.net.Name, p.NumClusters, c.clusters)
+		}
+		if p.NumEdges() != c.edges {
+			t.Errorf("%s edges = %d, want %d", c.net.Name, p.NumEdges(), c.edges)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", c.net.Name, err)
+		}
+	}
+}
+
+func TestExpandTrafficConservation(t *testing.T) {
+	// For every net: Σ w_P + internal = Σ_conns To.Neurons × FanIn × rate.
+	nets := []*snn.Net{snn.DNN65K(), snn.CNN65K(), snn.LeNetMNIST(), snn.MobileNet()}
+	for _, n := range nets {
+		p, err := Expand(n, DefaultPartition())
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		var want float64
+		for _, c := range n.Conns {
+			want += float64(n.Layers[c.To].Neurons) * float64(c.FanIn) * n.RateOf(c.From)
+		}
+		got := p.TotalWeight() + p.InternalTraffic
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("%s traffic %g, want %g", n.Name, got, want)
+		}
+	}
+}
+
+func TestExpandClusterSizes(t *testing.T) {
+	n := &snn.Net{Name: "sizes"}
+	n.Chain(snn.Layer{Name: "a", Neurons: 10}, 0, snn.Dense, 0)
+	n.Chain(snn.Layer{Name: "b", Neurons: 7}, 10, snn.Dense, 0)
+	p, err := Expand(n, PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer a: 4+4+2; layer b: 4+3.
+	wantSizes := []int32{4, 4, 2, 4, 3}
+	if p.NumClusters != 5 {
+		t.Fatalf("clusters = %d, want 5", p.NumClusters)
+	}
+	for i, w := range wantSizes {
+		if p.Neurons[i] != w {
+			t.Errorf("cluster %d = %d neurons, want %d", i, p.Neurons[i], w)
+		}
+	}
+	wantLayers := []int32{0, 0, 0, 1, 1}
+	for i, w := range wantLayers {
+		if p.Layer[i] != w {
+			t.Errorf("cluster %d layer %d, want %d", i, p.Layer[i], w)
+		}
+	}
+	// Per-cluster synapse accounting: layer b fan-in 10.
+	if p.Synapses[3] != 40 || p.Synapses[4] != 30 {
+		t.Errorf("synapses: %v", p.Synapses[3:])
+	}
+}
+
+func TestExpandDenseWeightsProportional(t *testing.T) {
+	n := &snn.Net{Name: "dense"}
+	n.Chain(snn.Layer{Name: "a", Neurons: 6}, 0, snn.Dense, 0)
+	n.Chain(snn.Layer{Name: "b", Neurons: 4}, 6, snn.Dense, 0)
+	p, err := Expand(n, PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clusters: a = {4, 2}, b = {4}. Traffic to b's cluster = 4×6 = 24,
+	// split 4:2 across a's clusters → 16 and 8.
+	tos0, ws0 := p.OutEdges(0)
+	tos1, ws1 := p.OutEdges(1)
+	if len(tos0) != 1 || ws0[0] != 16 {
+		t.Errorf("edge a0→b: %v %v, want 16", tos0, ws0)
+	}
+	if len(tos1) != 1 || ws1[0] != 8 {
+		t.Errorf("edge a1→b: %v %v, want 8", tos1, ws1)
+	}
+}
+
+func TestExpandLocalWindow(t *testing.T) {
+	n := &snn.Net{Name: "local"}
+	n.Chain(snn.Layer{Name: "a", Neurons: 8}, 0, snn.Dense, 0)
+	n.Chain(snn.Layer{Name: "b", Neurons: 8}, 2, snn.Local, 2)
+	p, err := Expand(n, PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 source clusters, 8 target clusters, window 2: each target cluster
+	// has exactly 2 inward edges (except clamping at the boundary keeps it
+	// at 2), so 16 directed edges.
+	if p.NumEdges() != 16 {
+		t.Errorf("edges = %d, want 16", p.NumEdges())
+	}
+	deg := p.InDegrees()
+	for i := 8; i < 16; i++ {
+		if deg[i] != 2 {
+			t.Errorf("target cluster %d in-degree %d, want 2", i, deg[i])
+		}
+	}
+}
+
+func TestExpandOneToOne(t *testing.T) {
+	n := &snn.Net{Name: "o2o"}
+	n.Chain(snn.Layer{Name: "a", Neurons: 8}, 0, snn.Dense, 0)
+	n.Chain(snn.Layer{Name: "b", Neurons: 4}, 4, snn.OneToOne, 0)
+	p, err := Expand(n, PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 source clusters, 2 target clusters: targets map to sources 0 and 3.
+	if p.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", p.NumEdges())
+	}
+	tos, ws := p.OutEdges(0)
+	if len(tos) != 1 || tos[0] != 4 || ws[0] != 8 {
+		t.Errorf("edge from source 0: %v %v", tos, ws)
+	}
+	tos, _ = p.OutEdges(3)
+	if len(tos) != 1 || tos[0] != 5 {
+		t.Errorf("edge from source 3: %v", tos)
+	}
+}
+
+func TestExpandSynapseConstraint(t *testing.T) {
+	n := &snn.Net{Name: "spc"}
+	n.Chain(snn.Layer{Name: "a", Neurons: 16}, 0, snn.Dense, 0)
+	n.Chain(snn.Layer{Name: "b", Neurons: 16}, 8, snn.Dense, 0)
+	p, err := Expand(n, PartitionConfig{
+		Constraints:     hw.Constraints{NeuronsPerCore: 16, SynapsesPerCore: 16},
+		EnforceSynapses: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer b fan-in 8, CON_spc 16 → 2 neurons per cluster → 8 clusters.
+	count := 0
+	for i := 0; i < p.NumClusters; i++ {
+		if p.Layer[i] == 1 {
+			count++
+			if p.Synapses[i] > 16 {
+				t.Errorf("cluster %d exceeds synapse cap: %d", i, p.Synapses[i])
+			}
+		}
+	}
+	if count != 8 {
+		t.Errorf("layer-b clusters = %d, want 8", count)
+	}
+}
+
+func TestExpandRejectsInvalid(t *testing.T) {
+	bad := &snn.Net{Name: "bad"}
+	if _, err := Expand(bad, DefaultPartition()); err == nil {
+		t.Error("invalid net must fail")
+	}
+	good := snn.DNN65K()
+	if _, err := Expand(good, PartitionConfig{}); err == nil {
+		t.Error("zero CON_npc must fail")
+	}
+}
+
+func TestExpandAppliesRates(t *testing.T) {
+	n := &snn.Net{Name: "rates"}
+	n.Chain(snn.Layer{Name: "a", Neurons: 4, Rate: 3}, 0, snn.Dense, 0)
+	n.Chain(snn.Layer{Name: "b", Neurons: 4}, 4, snn.Dense, 0)
+	p, err := Expand(n, PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Traffic = 4 neurons × fan-in 4 × rate 3 = 48 on the single edge.
+	tos, ws := p.OutEdges(0)
+	if len(tos) != 1 || ws[0] != 48 {
+		t.Fatalf("edge = %v %v, want weight 48", tos, ws)
+	}
+	// Doubling the source rate doubles every weight.
+	n.Layers[0].Rate = 6
+	p2, err := Expand(n, PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ws2 := p2.OutEdges(0)
+	if ws2[0] != 96 {
+		t.Fatalf("doubled rate gave weight %g, want 96", ws2[0])
+	}
+}

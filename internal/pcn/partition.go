@@ -1,0 +1,118 @@
+package pcn
+
+import (
+	"fmt"
+
+	"snnmap/internal/hw"
+	"snnmap/internal/snn"
+)
+
+// PartitionConfig controls Algorithm 1.
+type PartitionConfig struct {
+	// Constraints holds CON_npc and CON_spc.
+	Constraints hw.Constraints
+	// EnforceSynapses makes CON_spc a hard partitioning limit. The paper's
+	// published Table 3 cluster counts imply it was treated as a soft
+	// reporting limit (see DESIGN.md), so the default is false.
+	EnforceSynapses bool
+	// SplitAtLayers closes the current cluster at layer boundaries when the
+	// source graph carries layer tags. The paper's per-layer cluster counts
+	// (e.g. LeNet-MNIST = 9) require it; default true in DefaultPartition.
+	SplitAtLayers bool
+}
+
+// DefaultPartition returns the configuration that reproduces the paper's
+// Table 3 cluster structure with the Table 2 target hardware.
+func DefaultPartition() PartitionConfig {
+	return PartitionConfig{
+		Constraints:   hw.DefaultConstraints(),
+		SplitAtLayers: true,
+	}
+}
+
+// Result pairs a PCN with the neuron→cluster assignment.
+type Result struct {
+	PCN *PCN
+	// ClusterOf[i] is the cluster index neuron i was partitioned into.
+	ClusterOf []int32
+}
+
+// Partition runs Algorithm 1: walk neurons in index order, accumulating them
+// into the latest cluster until a hardware limitation forbids it, then start
+// a new cluster; finally build E_P and w_P from the synapses that cross
+// cluster boundaries (Eqs. 5–6).
+func Partition(g *snn.Graph, cfg PartitionConfig) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("pcn: invalid input graph: %w", err)
+	}
+	npc := cfg.Constraints.NeuronsPerCore
+	spc := cfg.Constraints.SynapsesPerCore
+	if npc <= 0 {
+		return nil, fmt.Errorf("pcn: partition requires a positive CON_npc, got %d", npc)
+	}
+
+	p := &PCN{}
+	clusterOf := make([]int32, g.NumNeurons)
+	curNeurons := 0
+	var curSynapses int64
+	curLayer := int32(-1)
+
+	flush := func() {
+		if curNeurons == 0 {
+			return
+		}
+		p.Neurons = append(p.Neurons, int32(curNeurons))
+		p.Synapses = append(p.Synapses, curSynapses)
+		p.Layer = append(p.Layer, curLayer)
+		curNeurons = 0
+		curSynapses = 0
+	}
+
+	for i := 0; i < g.NumNeurons; i++ {
+		layer := int32(-1)
+		if g.Layer != nil {
+			layer = g.Layer[i]
+		}
+		fanIn := int64(g.FanIn[i])
+		switch {
+		case curNeurons == 0:
+			// Always admit into an empty cluster: a single neuron that
+			// alone exceeds CON_spc cannot be split further.
+		case curNeurons+1 > npc:
+			flush()
+		case cfg.EnforceSynapses && spc > 0 && curSynapses+fanIn > int64(spc):
+			flush()
+		case cfg.SplitAtLayers && layer != curLayer && layer >= 0:
+			flush()
+		}
+		if curNeurons == 0 {
+			curLayer = layer
+		}
+		clusterOf[i] = int32(len(p.Neurons))
+		curNeurons++
+		curSynapses += fanIn
+	}
+	flush()
+	p.NumClusters = len(p.Neurons)
+
+	// Build E_P and w_P: sum spike densities of synapses crossing cluster
+	// boundaries (Eq. 5); same-cluster traffic is recorded separately.
+	var from, to []int32
+	var w []float64
+	for u := 0; u < g.NumNeurons; u++ {
+		cu := clusterOf[u]
+		tos, ws := g.OutEdges(u)
+		for k, v := range tos {
+			cv := clusterOf[v]
+			if cu == cv {
+				p.InternalTraffic += ws[k]
+				continue
+			}
+			from = append(from, cu)
+			to = append(to, cv)
+			w = append(w, ws[k])
+		}
+	}
+	buildCSR(p, from, to, w)
+	return &Result{PCN: p, ClusterOf: clusterOf}, nil
+}

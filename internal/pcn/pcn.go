@@ -1,0 +1,285 @@
+// Package pcn implements the Partitioned Cluster Network of §3.2: the graph
+// G_PCN = (V_P, E_P, w_P) whose nodes are clusters of neurons (at most one
+// cluster per core) and whose edge weights are inter-cluster communication
+// traffic volumes (Eq. 5). It provides the paper's Algorithm 1 partitioner
+// for explicit SNN graphs and an analytic expander for layer-spec Nets that
+// produces the identical cluster structure at billion-neuron scale.
+package pcn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PCN is a partitioned cluster network in CSR form. Cluster indices follow
+// the partition order (layer-major for layered applications), which is the
+// order the topological initial-placement pipeline consumes.
+type PCN struct {
+	// Name identifies the source application.
+	Name string
+	// NumClusters is |V_P|.
+	NumClusters int
+	// Neurons[i] and Synapses[i] are cluster i's configured neuron and
+	// (incoming) synapse counts, used for constraint verification.
+	Neurons  []int32
+	Synapses []int64
+	// Layer[i] tags cluster i with its source layer (-1 when unknown);
+	// layer-by-layer baselines (TrueNorth) consume it.
+	Layer []int32
+	// Directed edges in CSR by source cluster. Within one cluster's range
+	// targets are strictly increasing (parallel edges are merged by
+	// summing weights).
+	OutOff []int64
+	OutTo  []int32
+	OutW   []float64
+	// InternalTraffic is the total spike traffic between neurons that were
+	// partitioned into the same cluster; it never enters the interconnect
+	// and is excluded from E_P.
+	InternalTraffic float64
+
+	undir *Undirected // lazily built, see Undirected()
+}
+
+// NumEdges returns |E_P| (directed, merged).
+func (p *PCN) NumEdges() int64 {
+	if len(p.OutOff) == 0 {
+		return 0
+	}
+	return p.OutOff[p.NumClusters]
+}
+
+// TotalWeight returns Σ w_P(e) over all edges, the denominator of Eq. 10.
+func (p *PCN) TotalWeight() float64 {
+	var total float64
+	for _, w := range p.OutW {
+		total += w
+	}
+	return total
+}
+
+// TotalNeurons returns the neuron count across all clusters.
+func (p *PCN) TotalNeurons() int64 {
+	var total int64
+	for _, n := range p.Neurons {
+		total += int64(n)
+	}
+	return total
+}
+
+// TotalSynapses returns the synapse count across all clusters.
+func (p *PCN) TotalSynapses() int64 {
+	var total int64
+	for _, s := range p.Synapses {
+		total += s
+	}
+	return total
+}
+
+// OutEdges returns cluster i's outgoing targets and weights. The slices
+// alias the PCN's storage.
+func (p *PCN) OutEdges(i int) ([]int32, []float64) {
+	lo, hi := p.OutOff[i], p.OutOff[i+1]
+	return p.OutTo[lo:hi], p.OutW[lo:hi]
+}
+
+// InDegrees returns the number of incoming edges per cluster (used by the
+// topological sort's source set).
+func (p *PCN) InDegrees() []int32 {
+	deg := make([]int32, p.NumClusters)
+	for _, to := range p.OutTo {
+		deg[to]++
+	}
+	return deg
+}
+
+// NumLayers returns 1 + the maximum layer tag, or 0 when layers are unknown.
+func (p *PCN) NumLayers() int {
+	max := int32(-1)
+	for _, l := range p.Layer {
+		if l > max {
+			max = l
+		}
+	}
+	return int(max + 1)
+}
+
+// Validate checks structural invariants.
+func (p *PCN) Validate() error {
+	if p.NumClusters < 0 {
+		return fmt.Errorf("pcn: negative cluster count")
+	}
+	if len(p.Neurons) != p.NumClusters || len(p.Synapses) != p.NumClusters || len(p.Layer) != p.NumClusters {
+		return fmt.Errorf("pcn: per-cluster slices disagree with NumClusters=%d", p.NumClusters)
+	}
+	if len(p.OutOff) != p.NumClusters+1 {
+		return fmt.Errorf("pcn: OutOff length %d, want %d", len(p.OutOff), p.NumClusters+1)
+	}
+	if len(p.OutW) != len(p.OutTo) {
+		return fmt.Errorf("pcn: OutW length %d, OutTo length %d", len(p.OutW), len(p.OutTo))
+	}
+	// Offsets must form a valid CSR before anything slices with them.
+	if p.OutOff[0] != 0 {
+		return fmt.Errorf("pcn: OutOff[0] = %d, want 0", p.OutOff[0])
+	}
+	if p.OutOff[p.NumClusters] != int64(len(p.OutTo)) {
+		return fmt.Errorf("pcn: OutOff[%d] = %d, want %d", p.NumClusters, p.OutOff[p.NumClusters], len(p.OutTo))
+	}
+	for i := 0; i < p.NumClusters; i++ {
+		if p.OutOff[i] < 0 || p.OutOff[i] > p.OutOff[i+1] {
+			return fmt.Errorf("pcn: OutOff not monotone at cluster %d", i)
+		}
+	}
+	for i := 0; i < p.NumClusters; i++ {
+		tos, ws := p.OutEdges(i)
+		for k, to := range tos {
+			if to < 0 || int(to) >= p.NumClusters {
+				return fmt.Errorf("pcn: cluster %d has out-of-range edge target %d", i, to)
+			}
+			if int(to) == i {
+				return fmt.Errorf("pcn: cluster %d has a self-edge", i)
+			}
+			if k > 0 && tos[k-1] >= to {
+				return fmt.Errorf("pcn: cluster %d targets not strictly increasing", i)
+			}
+			if ws[k] < 0 {
+				return fmt.Errorf("pcn: negative weight on edge %d->%d", i, to)
+			}
+		}
+	}
+	return nil
+}
+
+// Undirected is the symmetrized view of the PCN: for every unordered
+// cluster pair {i, j} the weight is w_P(e_ij) + w_P(e_ji). All placement
+// potentials in the paper are symmetric (u(p) = u(−p)), so energy and force
+// computations run on this view.
+type Undirected struct {
+	Off []int64
+	To  []int32
+	W   []float64
+}
+
+// Neighbors returns cluster i's undirected neighbors and combined weights.
+func (u *Undirected) Neighbors(i int) ([]int32, []float64) {
+	lo, hi := u.Off[i], u.Off[i+1]
+	return u.To[lo:hi], u.W[lo:hi]
+}
+
+// Degree returns the number of distinct neighbors of cluster i.
+func (u *Undirected) Degree(i int) int { return int(u.Off[i+1] - u.Off[i]) }
+
+// Undirected returns (building on first use) the symmetrized adjacency.
+func (p *PCN) Undirected() *Undirected {
+	if p.undir != nil {
+		return p.undir
+	}
+	n := p.NumClusters
+	deg := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		tos, _ := p.OutEdges(i)
+		deg[i+1] += int64(len(tos))
+		for _, to := range tos {
+			deg[to+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	to := make([]int32, deg[n])
+	w := make([]float64, deg[n])
+	next := make([]int64, n)
+	copy(next, deg[:n])
+	for i := 0; i < n; i++ {
+		tos, ws := p.OutEdges(i)
+		for k, t := range tos {
+			pos := next[i]
+			next[i]++
+			to[pos] = t
+			w[pos] = ws[k]
+			pos = next[t]
+			next[t]++
+			to[pos] = int32(i)
+			w[pos] = ws[k]
+		}
+	}
+	// Per-node sort and duplicate merge (an i->j and j->i pair become one
+	// undirected entry with summed weight).
+	off := make([]int64, n+1)
+	var write int64
+	for i := 0; i < n; i++ {
+		off[i] = write
+		lo, hi := deg[i], deg[i+1]
+		seg := newEdgeSorter(to[lo:hi], w[lo:hi])
+		sort.Sort(seg)
+		for k := lo; k < hi; k++ {
+			if write > off[i] && to[write-1] == to[k] {
+				w[write-1] += w[k]
+				continue
+			}
+			to[write] = to[k]
+			w[write] = w[k]
+			write++
+		}
+	}
+	off[n] = write
+	p.undir = &Undirected{Off: off, To: to[:write], W: w[:write]}
+	return p.undir
+}
+
+// edgeSorter sorts parallel target/weight slices by target.
+type edgeSorter struct {
+	to []int32
+	w  []float64
+}
+
+func newEdgeSorter(to []int32, w []float64) *edgeSorter { return &edgeSorter{to: to, w: w} }
+
+func (s *edgeSorter) Len() int           { return len(s.to) }
+func (s *edgeSorter) Less(i, j int) bool { return s.to[i] < s.to[j] }
+func (s *edgeSorter) Swap(i, j int) {
+	s.to[i], s.to[j] = s.to[j], s.to[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+
+// buildCSR converts an edge list into the PCN's merged CSR fields.
+// It sorts edges by (from, to) and merges duplicates by summing weights.
+func buildCSR(p *PCN, from, to []int32, w []float64) {
+	n := p.NumClusters
+	counts := make([]int64, n+1)
+	for _, f := range from {
+		counts[f+1]++
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	bucketTo := make([]int32, len(to))
+	bucketW := make([]float64, len(w))
+	next := make([]int64, n)
+	copy(next, counts[:n])
+	for k, f := range from {
+		pos := next[f]
+		next[f]++
+		bucketTo[pos] = to[k]
+		bucketW[pos] = w[k]
+	}
+	p.OutOff = make([]int64, n+1)
+	var write int64
+	for i := 0; i < n; i++ {
+		p.OutOff[i] = write
+		lo, hi := counts[i], counts[i+1]
+		seg := newEdgeSorter(bucketTo[lo:hi], bucketW[lo:hi])
+		sort.Sort(seg)
+		for k := lo; k < hi; k++ {
+			if write > p.OutOff[i] && bucketTo[write-1] == bucketTo[k] {
+				bucketW[write-1] += bucketW[k]
+				continue
+			}
+			bucketTo[write] = bucketTo[k]
+			bucketW[write] = bucketW[k]
+			write++
+		}
+	}
+	p.OutOff[n] = write
+	p.OutTo = bucketTo[:write]
+	p.OutW = bucketW[:write]
+}

@@ -1,0 +1,104 @@
+package snn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomConfig parameterizes RandomGraph. SNN applications exhibit locality
+// (§4.2.2: neurons connect to a few nearby neurons rather than across the
+// whole network); the generator reproduces that with a band-limited
+// connection probability, and is used for the Figure 6 probability cloud and
+// for property tests.
+type RandomConfig struct {
+	// Neurons is the number of neurons to generate.
+	Neurons int
+	// AvgDegree is the expected number of outgoing synapses per neuron.
+	AvgDegree float64
+	// LocalityBand bounds |target−source| for local synapses, expressed as
+	// a fraction of the neuron count in (0, 1]. 1 disables locality.
+	LocalityBand float64
+	// LongRangeFrac is the fraction of synapses allowed to ignore the band
+	// (biological long-range projections). In [0, 1].
+	LongRangeFrac float64
+	// MaxDensity bounds the per-synapse spike density; densities are drawn
+	// uniformly from (0, MaxDensity]. Zero means 1 (all densities 1).
+	MaxDensity float64
+}
+
+// RandomGraph generates a random SNN application graph with the configured
+// locality structure, using rng for all randomness (deterministic for a
+// fixed seed).
+func RandomGraph(cfg RandomConfig, rng *rand.Rand) (*Graph, error) {
+	if cfg.Neurons <= 0 {
+		return nil, fmt.Errorf("snn: random graph needs positive neuron count, got %d", cfg.Neurons)
+	}
+	if cfg.AvgDegree < 0 {
+		return nil, fmt.Errorf("snn: negative average degree %g", cfg.AvgDegree)
+	}
+	band := cfg.LocalityBand
+	if band <= 0 || band > 1 {
+		band = 1
+	}
+	longFrac := cfg.LongRangeFrac
+	if longFrac < 0 {
+		longFrac = 0
+	}
+	if longFrac > 1 {
+		longFrac = 1
+	}
+	width := int(band * float64(cfg.Neurons))
+	if width < 1 {
+		width = 1
+	}
+
+	var b GraphBuilder
+	b.AddNeurons(cfg.Neurons, -1)
+	totalEdges := int(cfg.AvgDegree * float64(cfg.Neurons))
+	for e := 0; e < totalEdges; e++ {
+		src := rng.Intn(cfg.Neurons)
+		var dst int
+		if rng.Float64() < longFrac {
+			dst = rng.Intn(cfg.Neurons)
+		} else {
+			// Uniform within the locality band around src.
+			off := rng.Intn(2*width+1) - width
+			dst = src + off
+			if dst < 0 {
+				dst = -dst
+			}
+			if dst >= cfg.Neurons {
+				dst = 2*(cfg.Neurons-1) - dst
+			}
+		}
+		if dst == src {
+			dst = (src + 1) % cfg.Neurons
+		}
+		density := 1.0
+		if cfg.MaxDensity > 0 {
+			density = cfg.MaxDensity * (1 - rng.Float64())
+		}
+		b.AddSynapse(src, dst, density)
+	}
+	return b.Build(), nil
+}
+
+// FullyConnected returns an explicit graph with `layers` layers of `width`
+// neurons each, adjacent layers fully connected with unit spike density.
+// The "Full_connect_8_8" connection image of Figure 6.c is FullyConnected(8, 8)
+// viewed as a 64-neuron adjacency matrix.
+func FullyConnected(layers, width int) *Graph {
+	var b GraphBuilder
+	firsts := make([]int, layers)
+	for l := 0; l < layers; l++ {
+		firsts[l] = b.AddNeurons(width, l)
+	}
+	for l := 1; l < layers; l++ {
+		for s := 0; s < width; s++ {
+			for t := 0; t < width; t++ {
+				b.AddSynapse(firsts[l-1]+s, firsts[l]+t, 1)
+			}
+		}
+	}
+	return b.Build()
+}

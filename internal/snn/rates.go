@@ -1,0 +1,94 @@
+package snn
+
+import "fmt"
+
+// Spike-rate profiles. The edge weights of G_SNN are spike densities
+// (§3.2), not synaptic strengths: w_S(e) is the expected spike traffic per
+// synapse. Converted deep SNNs exhibit strongly depth-dependent activity
+// (firing sparsifies toward the output), and the mapping problem's traffic
+// volumes inherit that. A RateProfile assigns per-layer densities to a Net;
+// the analytic partitioner then scales every cluster edge by its source
+// layer's rate, so rate modeling costs nothing at 4-billion-neuron scale.
+
+// RateProfile computes a layer's spike density from its dataflow depth (the
+// longest path from any input layer, inputs having depth 0).
+type RateProfile func(depth int) float64
+
+// UniformRate fires every synapse at the given density.
+func UniformRate(rate float64) RateProfile {
+	return func(int) float64 { return rate }
+}
+
+// DecayRate starts at initial and multiplies by factor per depth level —
+// the classic activity sparsification of converted deep SNNs. factor must
+// be positive; values below 1 decay, above 1 amplify.
+func DecayRate(initial, factor float64) RateProfile {
+	return func(depth int) float64 {
+		r := initial
+		for i := 0; i < depth; i++ {
+			r *= factor
+		}
+		return r
+	}
+}
+
+// ApplyRates sets every layer's Rate from the profile, using the layer's
+// dataflow depth. It returns an error for invalid nets or non-positive
+// resulting rates.
+func ApplyRates(n *Net, profile RateProfile) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	depths, err := LayerDepths(n)
+	if err != nil {
+		return err
+	}
+	for i := range n.Layers {
+		rate := profile(depths[i])
+		if rate <= 0 {
+			return fmt.Errorf("snn: profile produced non-positive rate %g for layer %d (%s)", rate, i, n.Layers[i].Name)
+		}
+		n.Layers[i].Rate = rate
+	}
+	return nil
+}
+
+// LayerDepths returns each layer's dataflow depth: 0 for layers with no
+// incoming connections, otherwise 1 + the maximum depth of its inputs.
+// Cyclic layer graphs are rejected (recurrent networks need explicit
+// per-layer rates instead).
+func LayerDepths(n *Net) ([]int, error) {
+	numLayers := len(n.Layers)
+	indeg := make([]int, numLayers)
+	out := make([][]int, numLayers)
+	for _, c := range n.Conns {
+		indeg[c.To]++
+		out[c.From] = append(out[c.From], c.To)
+	}
+	depths := make([]int, numLayers)
+	queue := make([]int, 0, numLayers)
+	for i := 0; i < numLayers; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	visited := 0
+	for len(queue) > 0 {
+		l := queue[0]
+		queue = queue[1:]
+		visited++
+		for _, to := range out[l] {
+			if d := depths[l] + 1; d > depths[to] {
+				depths[to] = d
+			}
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if visited != numLayers {
+		return nil, fmt.Errorf("snn: net %q has a cycle in its layer graph; set rates explicitly", n.Name)
+	}
+	return depths, nil
+}

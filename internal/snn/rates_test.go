@@ -1,0 +1,81 @@
+package snn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLayerDepths(t *testing.T) {
+	n := &Net{Name: "d"}
+	a := n.Chain(Layer{Name: "a", Neurons: 4}, 0, Dense, 0)
+	b := n.Chain(Layer{Name: "b", Neurons: 4}, 4, Dense, 0)
+	c := n.Chain(Layer{Name: "c", Neurons: 4}, 4, Dense, 0)
+	n.Connect(a, c, 1, OneToOne, 0) // skip connection: c still depth 2
+	_ = b
+	depths, err := LayerDepths(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2}
+	for i, w := range want {
+		if depths[i] != w {
+			t.Errorf("depth[%d] = %d, want %d", i, depths[i], w)
+		}
+	}
+}
+
+func TestLayerDepthsRejectsCycles(t *testing.T) {
+	n := &Net{Name: "cyc"}
+	a := n.Chain(Layer{Name: "a", Neurons: 2}, 0, Dense, 0)
+	b := n.Chain(Layer{Name: "b", Neurons: 2}, 2, Dense, 0)
+	n.Connect(b, a, 1, OneToOne, 0)
+	if _, err := LayerDepths(n); err == nil {
+		t.Error("cycle must be rejected")
+	}
+}
+
+func TestApplyRatesUniform(t *testing.T) {
+	n := twoLayerNet()
+	if err := ApplyRates(n, UniformRate(2.5)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range n.Layers {
+		if n.Layers[i].Rate != 2.5 {
+			t.Errorf("layer %d rate %g", i, n.Layers[i].Rate)
+		}
+	}
+}
+
+func TestApplyRatesDecay(t *testing.T) {
+	n := &Net{Name: "decay"}
+	n.Chain(Layer{Name: "l0", Neurons: 4}, 0, Dense, 0)
+	n.Chain(Layer{Name: "l1", Neurons: 4}, 4, Dense, 0)
+	n.Chain(Layer{Name: "l2", Neurons: 4}, 4, Dense, 0)
+	if err := ApplyRates(n, DecayRate(8, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{8, 4, 2}
+	for i, w := range want {
+		if math.Abs(n.Layers[i].Rate-w) > 1e-12 {
+			t.Errorf("layer %d rate %g, want %g", i, n.Layers[i].Rate, w)
+		}
+	}
+}
+
+func TestApplyRatesRejectsNonPositive(t *testing.T) {
+	n := twoLayerNet()
+	if err := ApplyRates(n, UniformRate(0)); err == nil {
+		t.Error("zero rate must be rejected")
+	}
+}
+
+func TestApplyRatesOnZooNet(t *testing.T) {
+	n := LeNetMNIST()
+	if err := ApplyRates(n, DecayRate(1, 0.8)); err != nil {
+		t.Fatal(err)
+	}
+	// Output layers fire less than the input.
+	if n.Layers[len(n.Layers)-1].Rate >= n.Layers[0].Rate {
+		t.Error("decay profile should lower deep-layer rates")
+	}
+}

@@ -1,0 +1,103 @@
+package snn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Recurrent workloads. The paper's Algorithm 2 is explicitly designed for
+// non-DAG cluster graphs ("a slight modification to enable it to handle
+// non-Directed-acyclic-graphs"); reservoir computing networks (liquid state
+// machines) are the canonical recurrent SNN application and exercise that
+// path end to end: the reservoir's halves excite each other, so the PCN has
+// cycles.
+
+// ReservoirConfig parameterizes Reservoir.
+type ReservoirConfig struct {
+	// Inputs is the input layer width.
+	Inputs int64
+	// ReservoirNeurons is the total recurrent pool size (split into two
+	// mutually connected halves at the layer level).
+	ReservoirNeurons int64
+	// Readouts is the readout layer width.
+	Readouts int64
+	// FanIn is the recurrent synapses per reservoir neuron (default 64).
+	FanIn int64
+	// InputFanIn is synapses per reservoir neuron from the input
+	// (default 16).
+	InputFanIn int64
+}
+
+func (c ReservoirConfig) withDefaults() ReservoirConfig {
+	if c.FanIn <= 0 {
+		c.FanIn = 64
+	}
+	if c.InputFanIn <= 0 {
+		c.InputFanIn = 16
+	}
+	return c
+}
+
+// Reservoir builds a liquid-state-machine-style recurrent Net: input →
+// reservoir (two halves with mutual dense connections, i.e. a cycle in the
+// layer graph) → readout.
+func Reservoir(name string, cfg ReservoirConfig) (*Net, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Inputs <= 0 || cfg.ReservoirNeurons < 2 || cfg.Readouts <= 0 {
+		return nil, fmt.Errorf("snn: invalid reservoir config %+v", cfg)
+	}
+	half := cfg.ReservoirNeurons / 2
+	n := &Net{Name: name}
+	in := n.Chain(Layer{Name: "input", Neurons: cfg.Inputs}, 0, Dense, 0)
+	resA := n.Chain(Layer{Name: "reservoirA", Neurons: half}, cfg.InputFanIn, Dense, 0)
+	resB := len(n.Layers)
+	n.Layers = append(n.Layers, Layer{Name: "reservoirB", Neurons: cfg.ReservoirNeurons - half})
+	n.Connect(in, resB, cfg.InputFanIn, Dense, 0)
+	// The recurrent cycle: each half feeds the other.
+	n.Connect(resA, resB, cfg.FanIn, Dense, 0)
+	n.Connect(resB, resA, cfg.FanIn, Dense, 0)
+	readout := len(n.Layers)
+	n.Layers = append(n.Layers, Layer{Name: "readout", Neurons: cfg.Readouts})
+	n.Connect(resA, readout, half, Dense, 0)
+	n.Connect(resB, readout, cfg.ReservoirNeurons-half, Dense, 0)
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// RandomReservoirGraph materializes a small recurrent SNN as an explicit
+// graph: a sparse random recurrent pool with input and readout projections,
+// for tests and simulator workloads. Deterministic per rng.
+func RandomReservoirGraph(inputs, pool, readouts, degree int, rng *rand.Rand) (*Graph, error) {
+	if inputs <= 0 || pool <= 1 || readouts <= 0 || degree <= 0 {
+		return nil, fmt.Errorf("snn: invalid reservoir graph (%d, %d, %d, %d)", inputs, pool, readouts, degree)
+	}
+	var b GraphBuilder
+	in := b.AddNeurons(inputs, 0)
+	p := b.AddNeurons(pool, 1)
+	out := b.AddNeurons(readouts, 2)
+	// Input projection.
+	for t := 0; t < pool; t++ {
+		for k := 0; k < degree/4+1; k++ {
+			b.AddSynapse(in+rng.Intn(inputs), p+t, 1)
+		}
+	}
+	// Sparse recurrent pool (self-loops redirected to a neighbor).
+	for t := 0; t < pool; t++ {
+		for k := 0; k < degree; k++ {
+			src := rng.Intn(pool)
+			if src == t {
+				src = (src + 1) % pool
+			}
+			b.AddSynapse(p+src, p+t, 1)
+		}
+	}
+	// Readout projection.
+	for t := 0; t < readouts; t++ {
+		for k := 0; k < degree; k++ {
+			b.AddSynapse(p+rng.Intn(pool), out+t, 1)
+		}
+	}
+	return b.Build(), nil
+}

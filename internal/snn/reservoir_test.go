@@ -1,0 +1,80 @@
+package snn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestReservoirNet(t *testing.T) {
+	n, err := Reservoir("lsm", ReservoirConfig{Inputs: 128, ReservoirNeurons: 1000, Readouts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumNeurons() != 128+1000+10 {
+		t.Errorf("neurons = %d", n.NumNeurons())
+	}
+	// The layer graph must contain the recurrent cycle A↔B.
+	hasAB, hasBA := false, false
+	for _, c := range n.Conns {
+		if n.Layers[c.From].Name == "reservoirA" && n.Layers[c.To].Name == "reservoirB" {
+			hasAB = true
+		}
+		if n.Layers[c.From].Name == "reservoirB" && n.Layers[c.To].Name == "reservoirA" {
+			hasBA = true
+		}
+	}
+	if !hasAB || !hasBA {
+		t.Error("reservoir halves must be mutually connected")
+	}
+	// Rate profiles must reject the cyclic layer graph.
+	if err := ApplyRates(n, UniformRate(1)); err == nil {
+		t.Error("cyclic net must be rejected by depth-based profiles")
+	}
+}
+
+func TestReservoirRejectsInvalid(t *testing.T) {
+	if _, err := Reservoir("x", ReservoirConfig{}); err == nil {
+		t.Error("zero config must fail")
+	}
+}
+
+func TestRandomReservoirGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := RandomReservoirGraph(16, 200, 5, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNeurons != 221 {
+		t.Errorf("neurons = %d", g.NumNeurons)
+	}
+	// Recurrence: some pool neuron pair must be connected in both
+	// directions somewhere (overwhelmingly likely at degree 8 over 200).
+	recurrent := false
+	for u := 16; u < 216 && !recurrent; u++ {
+		tos, _ := g.OutEdges(u)
+		for _, v := range tos {
+			if int(v) < 16 || int(v) >= 216 {
+				continue
+			}
+			back, _ := g.OutEdges(int(v))
+			for _, w := range back {
+				if int(w) >= 16 && int(w) < 216 {
+					recurrent = true
+					break
+				}
+			}
+			if recurrent {
+				break
+			}
+		}
+	}
+	if !recurrent {
+		t.Error("pool has no recurrent path")
+	}
+	if _, err := RandomReservoirGraph(0, 10, 1, 1, rng); err == nil {
+		t.Error("invalid config must fail")
+	}
+}

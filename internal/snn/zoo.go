@@ -1,0 +1,298 @@
+package snn
+
+import "fmt"
+
+// The ANN-derived workloads of Table 3. The paper trains these networks in
+// TensorFlow and converts them to SNNs with SNNToolBox; the mapping problem,
+// however, consumes only the topology (neuron counts per layer, fan-ins,
+// connection structure), so we reconstruct the architectures directly as
+// layer specs. Convolutions connect densely at cluster level (clusters span
+// channel planes, and every output channel reads every input channel);
+// pooling, depthwise convolutions and residual shortcuts connect
+// one-to-one. EXPERIMENTS.md records paper-vs-measured graph sizes.
+
+// fmBuilder builds convolutional networks while tracking the spatial shape
+// of the current feature map.
+type fmBuilder struct {
+	net     *Net
+	h, w, c int // current feature map shape
+	last    int // index of the layer producing the current feature map
+}
+
+func newFMBuilder(name string, h, w, c int) *fmBuilder {
+	b := &fmBuilder{net: &Net{Name: name}, h: h, w: w, c: c}
+	b.last = b.net.Chain(Layer{Name: "input", Neurons: int64(h * w * c)}, 0, Dense, 0)
+	return b
+}
+
+func convOut(in, kernel, stride, pad int) int {
+	out := (in+2*pad-kernel)/stride + 1
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// conv appends a standard convolution with outC output channels. groups
+// divides the input channels for grouped convolutions (1 for none).
+func (b *fmBuilder) conv(name string, outC, kernel, stride, pad, groups int) int {
+	oh := convOut(b.h, kernel, stride, pad)
+	ow := convOut(b.w, kernel, stride, pad)
+	fanIn := int64(kernel * kernel * b.c / groups)
+	idx := b.net.Chain(Layer{Name: name, Neurons: int64(oh * ow * outC)}, fanIn, Dense, 0)
+	b.h, b.w, b.c, b.last = oh, ow, outC, idx
+	return idx
+}
+
+// depthwise appends a depthwise convolution (per-channel, one-to-one at
+// cluster level).
+func (b *fmBuilder) depthwise(name string, kernel, stride, pad int) int {
+	oh := convOut(b.h, kernel, stride, pad)
+	ow := convOut(b.w, kernel, stride, pad)
+	fanIn := int64(kernel * kernel)
+	idx := b.net.Chain(Layer{Name: name, Neurons: int64(oh * ow * b.c)}, fanIn, OneToOne, 0)
+	b.h, b.w, b.last = oh, ow, idx
+	return idx
+}
+
+// pool appends a pooling layer (one-to-one at cluster level).
+func (b *fmBuilder) pool(name string, size, stride int) int {
+	oh := convOut(b.h, size, stride, 0)
+	ow := convOut(b.w, size, stride, 0)
+	idx := b.net.Chain(Layer{Name: name, Neurons: int64(oh * ow * b.c)}, int64(size*size), OneToOne, 0)
+	b.h, b.w, b.last = oh, ow, idx
+	return idx
+}
+
+// globalPool collapses the spatial dimensions to 1×1.
+func (b *fmBuilder) globalPool(name string) int {
+	fanIn := int64(b.h * b.w)
+	idx := b.net.Chain(Layer{Name: name, Neurons: int64(b.c)}, fanIn, OneToOne, 0)
+	b.h, b.w, b.last = 1, 1, idx
+	return idx
+}
+
+// fc appends a fully-connected layer.
+func (b *fmBuilder) fc(name string, units int) int {
+	fanIn := int64(b.h * b.w * b.c)
+	idx := b.net.Chain(Layer{Name: name, Neurons: int64(units)}, fanIn, Dense, 0)
+	b.h, b.w, b.c, b.last = 1, 1, units, idx
+	return idx
+}
+
+// LeNetMNIST returns LeNet-5 on 28×28 MNIST inputs (Table 3 row
+// "LeNet-MNIST": ~9 K neurons, ~0.4 M synapses, 9 clusters, 3×3 mesh).
+func LeNetMNIST() *Net {
+	b := newFMBuilder("LeNet-MNIST", 28, 28, 1)
+	b.conv("c1", 6, 5, 1, 2, 1)
+	b.pool("s2", 2, 2)
+	b.conv("c3", 16, 5, 1, 0, 1)
+	b.pool("s4", 2, 2)
+	b.fc("c5", 120)
+	b.fc("f6", 84)
+	b.fc("output", 10)
+	return b.net
+}
+
+// LeNetImageNet returns the paper's scaled-up LeNet on 224×224 ImageNet
+// inputs (~1 M neurons, ~190 M synapses, 16×16 mesh). Widened feature maps
+// and 7×7 kernels reproduce the published graph scale.
+func LeNetImageNet() *Net {
+	b := newFMBuilder("LeNet-ImageNet", 224, 224, 3)
+	b.conv("c1", 8, 7, 1, 3, 1)
+	b.pool("s2", 2, 2)
+	b.conv("c3", 24, 7, 1, 0, 1)
+	b.pool("s4", 2, 2)
+	b.fc("c5", 120)
+	b.fc("f6", 84)
+	b.fc("output", 1000)
+	return b.net
+}
+
+// AlexNet returns the standard AlexNet architecture on 227×227 inputs
+// (~0.9 M neurons, ~1.0 B synapses, 16×16 mesh).
+func AlexNet() *Net {
+	b := newFMBuilder("AlexNet", 227, 227, 3)
+	b.conv("conv1", 96, 11, 4, 0, 1)
+	b.pool("pool1", 3, 2)
+	b.conv("conv2", 256, 5, 1, 2, 2)
+	b.pool("pool2", 3, 2)
+	b.conv("conv3", 384, 3, 1, 1, 1)
+	b.conv("conv4", 384, 3, 1, 1, 2)
+	b.conv("conv5", 256, 3, 1, 1, 2)
+	b.pool("pool5", 3, 2)
+	b.fc("fc6", 4096)
+	b.fc("fc7", 4096)
+	b.fc("fc8", 1000)
+	return b.net
+}
+
+// MobileNet returns MobileNet v1 (width 1.0) on 224×224 inputs (~5-7 M
+// neurons, ~0.5 B synapses, 42×42 mesh).
+func MobileNet() *Net {
+	b := newFMBuilder("MobileNet", 224, 224, 3)
+	b.conv("conv1", 32, 3, 2, 1, 1)
+	block := func(i, outC, stride int) {
+		b.depthwise(fmt.Sprintf("dw%d", i), 3, stride, 1)
+		b.conv(fmt.Sprintf("pw%d", i), outC, 1, 1, 0, 1)
+	}
+	block(1, 64, 1)
+	block(2, 128, 2)
+	block(3, 128, 1)
+	block(4, 256, 2)
+	block(5, 256, 1)
+	block(6, 512, 2)
+	for i := 7; i <= 11; i++ {
+		block(i, 512, 1)
+	}
+	block(12, 1024, 2)
+	block(13, 1024, 1)
+	b.globalPool("avgpool")
+	b.fc("fc", 1000)
+	return b.net
+}
+
+// inceptionConv describes one convolution inside an inception branch.
+// taps is the number of synapses per neuron per input channel: 1 for a 1×1
+// convolution, 9 for 3×3, 25 for 5×5, and 7 for each half of a factorized
+// 1×7/7×1 pair.
+type inceptionConv struct {
+	channels, taps int
+}
+
+// inceptionModule appends a multi-branch inception module. Every branch
+// reads the current feature map; the module "output" is the set of branch
+// tails, which the next consumer connects to individually (concatenation).
+func (b *fmBuilder) inceptionModule(name string, branches [][]inceptionConv) {
+	inH, inW, inC, inIdx := b.h, b.w, b.c, b.last
+	tails := make([]int, 0, len(branches))
+	outC := 0
+	for bi := range branches {
+		h, w, c, last := inH, inW, inC, inIdx
+		for ci, cv := range branches[bi] {
+			// Inception convolutions are padded to preserve the spatial
+			// shape; only the channel count and fan-in change.
+			fanIn := int64(cv.taps * c)
+			idx := len(b.net.Layers)
+			b.net.Layers = append(b.net.Layers, Layer{
+				Name:    fmt.Sprintf("%s_b%d_c%d", name, bi, ci),
+				Neurons: int64(h * w * cv.channels),
+			})
+			b.net.Connect(last, idx, fanIn, Dense, 0)
+			c, last = cv.channels, idx
+		}
+		tails = append(tails, last)
+		outC += c
+	}
+	// Concatenation: fold the branch tails into a single pass-through layer
+	// so downstream chaining sees one producer. The concat layer's clusters
+	// receive one-to-one traffic from each branch.
+	concat := len(b.net.Layers)
+	b.net.Layers = append(b.net.Layers, Layer{
+		Name:    name + "_concat",
+		Neurons: int64(inH * inW * outC),
+	})
+	for _, t := range tails {
+		b.net.Connect(t, concat, 1, OneToOne, 0)
+	}
+	b.h, b.w, b.c, b.last = inH, inW, outC, concat
+}
+
+// InceptionV3 returns a faithful-scale InceptionV3 on 299×299 inputs
+// (~11-15 M neurons, ~5 B synapses, 60×60 mesh). Modules follow the standard
+// branch structure; 7×1/1×7 factorized convolutions are modeled as single
+// 7-tap convolutions with equivalent fan-in.
+func InceptionV3() *Net {
+	b := newFMBuilder("InceptionV3", 299, 299, 3)
+	b.conv("stem1", 32, 3, 2, 0, 1)
+	b.conv("stem2", 32, 3, 1, 0, 1)
+	b.conv("stem3", 64, 3, 1, 1, 1)
+	b.pool("stem_pool1", 3, 2)
+	b.conv("stem4", 80, 1, 1, 0, 1)
+	b.conv("stem5", 192, 3, 1, 0, 1)
+	b.pool("stem_pool2", 3, 2)
+
+	// 3× inception-A at 35×35.
+	for i := 0; i < 3; i++ {
+		pool1x1 := 32
+		if i > 0 {
+			pool1x1 = 64
+		}
+		b.inceptionModule(fmt.Sprintf("mixedA%d", i), [][]inceptionConv{
+			{{64, 1}},
+			{{48, 1}, {64, 25}},
+			{{64, 1}, {96, 9}, {96, 9}},
+			{{pool1x1, 1}},
+		})
+	}
+	// Reduction-A to 17×17.
+	b.conv("reduceA", 768, 3, 2, 0, 1)
+	// 4× inception-B at 17×17 (factorized 7-tap branches).
+	for i := 0; i < 4; i++ {
+		c7 := 128 + 32*i
+		if c7 > 192 {
+			c7 = 192
+		}
+		b.inceptionModule(fmt.Sprintf("mixedB%d", i), [][]inceptionConv{
+			{{192, 1}},
+			{{c7, 1}, {c7, 7}, {192, 7}},
+			{{c7, 1}, {c7, 7}, {c7, 7}, {c7, 7}, {192, 7}},
+			{{192, 1}},
+		})
+	}
+	// Reduction-B to 8×8.
+	b.conv("reduceB", 1280, 3, 2, 0, 1)
+	// 2× inception-C at 8×8.
+	for i := 0; i < 2; i++ {
+		b.inceptionModule(fmt.Sprintf("mixedC%d", i), [][]inceptionConv{
+			{{320, 1}},
+			{{384, 1}, {384, 3}, {384, 3}},
+			{{448, 1}, {384, 9}, {384, 3}, {384, 3}},
+			{{192, 1}},
+		})
+	}
+	b.globalPool("avgpool")
+	b.fc("fc", 1000)
+	return b.net
+}
+
+// ResNet returns ResNet-152 on 224×224 inputs (~21-28 M neurons, ~11 B
+// synapses, the paper's largest realistic workload, 84×84 mesh). Bottleneck
+// blocks carry identity/projection shortcuts as one-to-one connections.
+func ResNet() *Net {
+	b := newFMBuilder("ResNet", 224, 224, 3)
+	b.conv("conv1", 64, 7, 2, 3, 1)
+	b.pool("pool1", 3, 2)
+
+	bottleneck := func(stage, block, width, stride int) {
+		in := b.last
+		inC := b.c
+		name := fmt.Sprintf("s%db%d", stage, block)
+		b.conv(name+"_1x1a", width, 1, stride, 0, 1)
+		b.conv(name+"_3x3", width, 3, 1, 1, 1)
+		out := b.conv(name+"_1x1b", 4*width, 1, 1, 0, 1)
+		// Shortcut: identity when shapes match, 1×1 projection otherwise;
+		// either way the traffic is one-to-one at cluster level.
+		short := int64(1)
+		if inC != 4*width || stride != 1 {
+			short = int64(inC)
+		}
+		b.net.Connect(in, out, short, OneToOne, 0)
+	}
+	stage := func(idx, blocks, width, firstStride int) {
+		for i := 0; i < blocks; i++ {
+			s := 1
+			if i == 0 {
+				s = firstStride
+			}
+			bottleneck(idx, i, width, s)
+		}
+	}
+	stage(1, 3, 64, 1)
+	stage(2, 8, 128, 2)
+	stage(3, 36, 256, 2)
+	stage(4, 3, 512, 2)
+	b.globalPool("avgpool")
+	b.fc("fc", 1000)
+	return b.net
+}

@@ -1,0 +1,176 @@
+package toposort
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"snnmap/internal/hw"
+	"snnmap/internal/pcn"
+	"snnmap/internal/snn"
+)
+
+func chainPCN(t *testing.T, n int) *pcn.PCN {
+	t.Helper()
+	g := snn.FullyConnected(n, 1)
+	res, err := pcn.Partition(g, pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.PCN
+}
+
+func TestSortChain(t *testing.T) {
+	p := chainPCN(t, 5)
+	seq := Sort(p)
+	for i, s := range seq {
+		if s != int32(i) {
+			t.Fatalf("chain order: Seq = %v", seq)
+		}
+	}
+	order := Order(p)
+	for i, c := range order {
+		if c != int32(i) {
+			t.Fatalf("chain Order = %v", order)
+		}
+	}
+}
+
+func TestSortIsTotalOrder(t *testing.T) {
+	p := chainPCN(t, 7)
+	seq := Sort(p)
+	seen := make([]bool, len(seq))
+	for _, s := range seq {
+		if s < 0 || int(s) >= len(seq) || seen[s] {
+			t.Fatalf("Seq is not a permutation: %v", seq)
+		}
+		seen[s] = true
+	}
+}
+
+func TestSortRespectsEdgesOnDAG(t *testing.T) {
+	// Diamond: 0→1, 0→2, 1→3, 2→3; every edge must point forward.
+	var b snn.GraphBuilder
+	b.AddNeurons(4, -1)
+	b.AddSynapse(0, 1, 1)
+	b.AddSynapse(0, 2, 1)
+	b.AddSynapse(1, 3, 1)
+	b.AddSynapse(2, 3, 1)
+	res, err := pcn.Partition(b.Build(), pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.PCN
+	seq := Sort(p)
+	for c := 0; c < p.NumClusters; c++ {
+		tos, _ := p.OutEdges(c)
+		for _, to := range tos {
+			if seq[c] >= seq[to] {
+				t.Errorf("edge %d→%d not forward: seq %d >= %d", c, to, seq[c], seq[to])
+			}
+		}
+	}
+	// Smallest-index tie-break: 1 before 2.
+	if seq[1] >= seq[2] {
+		t.Errorf("tie-break by index violated: seq[1]=%d seq[2]=%d", seq[1], seq[2])
+	}
+}
+
+func TestSortHandlesCycle(t *testing.T) {
+	// 0→1→2→0 plus 2→3: the cycle is broken at the smallest index.
+	var b snn.GraphBuilder
+	b.AddNeurons(4, -1)
+	b.AddSynapse(0, 1, 1)
+	b.AddSynapse(1, 2, 1)
+	b.AddSynapse(2, 0, 1)
+	b.AddSynapse(2, 3, 1)
+	res, err := pcn.Partition(b.Build(), pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := Sort(res.PCN)
+	// All positions assigned exactly once.
+	seen := make([]bool, 4)
+	for _, s := range seq {
+		if s < 0 || s > 3 || seen[s] {
+			t.Fatalf("cycle broke total order: %v", seq)
+		}
+		seen[s] = true
+	}
+	// Algorithm 2 forces the smallest unordered index (0) first, then the
+	// chain unrolls: 0,1,2,3.
+	want := []int32{0, 1, 2, 3}
+	for i, s := range seq {
+		if s != want[i] {
+			t.Fatalf("Seq = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestSortSelfContainedComponents(t *testing.T) {
+	// Two disjoint 2-cycles: all clusters still get unique positions.
+	var b snn.GraphBuilder
+	b.AddNeurons(4, -1)
+	b.AddSynapse(0, 1, 1)
+	b.AddSynapse(1, 0, 1)
+	b.AddSynapse(2, 3, 1)
+	b.AddSynapse(3, 2, 1)
+	res, err := pcn.Partition(b.Build(), pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := Sort(res.PCN)
+	seen := map[int32]bool{}
+	for _, s := range seq {
+		if seen[s] {
+			t.Fatalf("duplicate position: %v", seq)
+		}
+		seen[s] = true
+	}
+}
+
+func TestSortPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 1
+		var b snn.GraphBuilder
+		b.AddNeurons(n, -1)
+		for e := 0; e < rng.Intn(3*n); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddSynapse(u, v, 1)
+			}
+		}
+		res, err := pcn.Partition(b.Build(), pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+		if err != nil {
+			return false
+		}
+		seq := Sort(res.PCN)
+		seen := make([]bool, len(seq))
+		for _, s := range seq {
+			if s < 0 || int(s) >= len(seq) || seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortDeterminism(t *testing.T) {
+	g := snn.FullyConnected(4, 3)
+	res, err := pcn.Partition(g, pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Sort(res.PCN)
+	b := Sort(res.PCN)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Sort must be deterministic")
+		}
+	}
+}

@@ -1,0 +1,385 @@
+// Package snnmap maps very large scale Spiking Neural Networks onto 2D-mesh
+// neuromorphic hardware, reproducing Jin et al., "Mapping Very Large Scale
+// Spiking Neuron Network to Neuromorphic Hardware" (ASPLOS 2023).
+//
+// The pipeline has three stages:
+//
+//  1. Describe the SNN application, either as an explicit neuron/synapse
+//     graph (Graph) or as a scalable layer specification (Net). A model zoo
+//     provides the paper's thirteen benchmark workloads.
+//  2. Partition the application into a cluster network (PCN) respecting the
+//     per-core capacity of the target hardware (Partition / Expand).
+//  3. Place the clusters on the mesh (Map): a Hilbert-curve initial
+//     placement followed by Force-Directed fine-tuning. Evaluate scores a
+//     placement on the paper's five metrics, and Simulate replays the
+//     traffic through a spike-level NoC simulator.
+//
+// Quick start:
+//
+//	net := snnmap.LeNetMNIST()
+//	p, _ := snnmap.Expand(net, snnmap.DefaultPartition())
+//	mesh := snnmap.MeshFor(p.NumClusters)
+//	res, _ := snnmap.Map(p, mesh, snnmap.DefaultConfig())
+//	sum := snnmap.Evaluate(p, res.Placement, snnmap.DefaultCostModel(), snnmap.MetricOptions{})
+package snnmap
+
+import (
+	"io"
+
+	"snnmap/internal/baseline"
+	"snnmap/internal/codec"
+	"snnmap/internal/curve"
+	"snnmap/internal/hw"
+	"snnmap/internal/mapping"
+	"snnmap/internal/metrics"
+	"snnmap/internal/noc"
+	"snnmap/internal/pcn"
+	"snnmap/internal/place"
+	"snnmap/internal/snn"
+)
+
+// Application models (§3.2).
+type (
+	// Graph is an explicit SNN application graph G_SNN = (V_S, E_S, w_S).
+	Graph = snn.Graph
+	// GraphBuilder accumulates neurons and synapses into a Graph.
+	GraphBuilder = snn.GraphBuilder
+	// Net is a layer-level SNN application specification that scales to
+	// billions of neurons.
+	Net = snn.Net
+	// Layer is one layer of a Net.
+	Layer = snn.Layer
+	// Conn is a layer-to-layer connection of a Net.
+	Conn = snn.Conn
+	// Pattern selects cluster-level connectivity (Dense, Local, OneToOne).
+	Pattern = snn.Pattern
+)
+
+// Connectivity patterns for Net connections.
+const (
+	Dense    = snn.Dense
+	Local    = snn.Local
+	OneToOne = snn.OneToOne
+)
+
+// Hardware model (§3.1).
+type (
+	// Mesh is the N×M core grid.
+	Mesh = hw.Mesh
+	// Constraints holds CON_npc and CON_spc.
+	Constraints = hw.Constraints
+	// CostModel holds EN_r, EN_w, L_r, L_w.
+	CostModel = hw.CostModel
+	// System bundles mesh, constraints and cost model.
+	System = hw.System
+	// Platform is a published hardware preset (Table 1).
+	Platform = hw.Platform
+)
+
+// NewMesh returns an N×M mesh.
+func NewMesh(rows, cols int) (Mesh, error) { return hw.NewMesh(rows, cols) }
+
+// DefaultCostModel returns the paper's Table 2 interconnect parameters.
+func DefaultCostModel() CostModel { return hw.DefaultCostModel() }
+
+// DefaultConstraints returns the paper's Table 2 core capacities.
+func DefaultConstraints() Constraints { return hw.DefaultConstraints() }
+
+// Platforms returns the Table 1 hardware presets.
+func Platforms() []Platform { return hw.Platforms() }
+
+// PlatformByName returns one Table 1 preset.
+func PlatformByName(name string) (Platform, bool) { return hw.PlatformByName(name) }
+
+// Partitioning (§3.2, Algorithm 1).
+type (
+	// PCN is the partitioned cluster network G_PCN = (V_P, E_P, w_P).
+	PCN = pcn.PCN
+	// PartitionConfig controls Algorithm 1 / analytic expansion.
+	PartitionConfig = pcn.PartitionConfig
+	// PartitionResult pairs a PCN with the neuron→cluster assignment.
+	PartitionResult = pcn.Result
+)
+
+// DefaultPartition returns the configuration matching the paper's Table 3.
+func DefaultPartition() PartitionConfig { return pcn.DefaultPartition() }
+
+// Partition runs Algorithm 1 on an explicit graph.
+func Partition(g *Graph, cfg PartitionConfig) (*PartitionResult, error) {
+	return pcn.Partition(g, cfg)
+}
+
+// Expand partitions a layer-spec Net analytically (identical cluster
+// structure, no neuron materialization).
+func Expand(n *Net, cfg PartitionConfig) (*PCN, error) { return pcn.Expand(n, cfg) }
+
+// Mapping (§4).
+type (
+	// Config describes a mapping pipeline (curve + optional FD).
+	Config = mapping.Config
+	// FDConfig tunes the Force-Directed algorithm (Algorithm 3).
+	FDConfig = mapping.FDConfig
+	// FDStats reports one fine-tuning run.
+	FDStats = mapping.FDStats
+	// MapResult is Map's output.
+	MapResult = mapping.Result
+	// Placement assigns clusters to cores (Eq. 7).
+	Placement = place.Placement
+	// Potential is a force-field shape u(p) (§4.4.2).
+	Potential = mapping.Potential
+	// Curve is a space-filling curve over the mesh.
+	Curve = curve.Curve
+)
+
+// The potential-field family of §4.4.2.
+type (
+	// PotentialL1 is u_a(p) = |x|+|y| (Eq. 19).
+	PotentialL1 = mapping.L1
+	// PotentialL1Sq is u_b(p) = (|x|+|y|)² (Eq. 20).
+	PotentialL1Sq = mapping.L1Sq
+	// PotentialL2Sq is u_c(p) = x²+y² (Eq. 21), the paper's best choice.
+	PotentialL2Sq = mapping.L2Sq
+	// PotentialEnergy is Eq. 25, making FD minimize M_ec exactly.
+	PotentialEnergy = mapping.EnergyPotential
+)
+
+// Space-filling curves (§4.2, §4.3).
+type (
+	// Hilbert is the paper's curve (generalized to any rectangle).
+	Hilbert = curve.Hilbert
+	// ZigZag is the boustrophedon comparison curve.
+	ZigZag = curve.ZigZag
+	// Circle is the inward-spiral comparison curve.
+	Circle = curve.Circle
+)
+
+// DefaultConfig returns the paper's proposed approach: Hilbert-curve
+// initial placement plus FD fine-tuning with the u_c potential.
+func DefaultConfig() Config { return mapping.Default() }
+
+// Map runs a mapping pipeline on a PCN.
+func Map(p *PCN, mesh Mesh, cfg Config) (MapResult, error) { return mapping.Map(p, mesh, cfg) }
+
+// InitialPlacement computes P_init = Hilbert ∘ Seq (Eq. 17) for any curve.
+func InitialPlacement(p *PCN, mesh Mesh, c Curve) (*Placement, error) {
+	return mapping.InitialPlacement(p, mesh, c)
+}
+
+// Finetune runs the Force-Directed algorithm on an existing placement.
+func Finetune(p *PCN, pl *Placement, cfg FDConfig) (FDStats, error) {
+	return mapping.Finetune(p, pl, cfg)
+}
+
+// MeshFor returns the smallest square mesh holding n clusters (the paper's
+// Table 3 sizing rule).
+func MeshFor(n int) Mesh {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	return hw.MustMesh(side, side)
+}
+
+// Metrics (§3.3).
+type (
+	// Summary holds the five placement metrics (Eqs. 9–14).
+	Summary = metrics.Summary
+	// MetricOptions tunes congestion computation.
+	MetricOptions = metrics.Options
+	// CongestionMode selects how congestion grids are computed.
+	CongestionMode = metrics.CongestionMode
+)
+
+// Congestion computation modes for MetricOptions.
+const (
+	CongestionAuto    = metrics.CongestionAuto
+	CongestionExact   = metrics.CongestionExact
+	CongestionSampled = metrics.CongestionSampled
+	CongestionSkip    = metrics.CongestionSkip
+)
+
+// Evaluate scores a placement on energy, latency and congestion.
+func Evaluate(p *PCN, pl *Placement, cost CostModel, opts MetricOptions) Summary {
+	return metrics.Evaluate(p, pl, cost, opts)
+}
+
+// Baselines (§5.1.3).
+type (
+	// BaselineOptions configures a baseline run.
+	BaselineOptions = baseline.Options
+	// BaselineStats reports a baseline run.
+	BaselineStats = baseline.Stats
+)
+
+// RandomPlacement is the paper's normalization baseline.
+func RandomPlacement(p *PCN, mesh Mesh, opts BaselineOptions) (*Placement, BaselineStats, error) {
+	return baseline.Random(p, mesh, opts)
+}
+
+// TrueNorthPlacement is the layer-by-layer heuristic of Sawada et al.
+func TrueNorthPlacement(p *PCN, mesh Mesh, opts BaselineOptions) (*Placement, BaselineStats, error) {
+	return baseline.TrueNorth(p, mesh, opts)
+}
+
+// DFSynthesizerPlacement is the iterative swap search of Song et al.
+func DFSynthesizerPlacement(p *PCN, mesh Mesh, opts BaselineOptions) (*Placement, BaselineStats, error) {
+	return baseline.DFSynthesizer(p, mesh, opts)
+}
+
+// PSOPlacement is the binarized particle swarm optimizer of SpiNeMap/Song.
+func PSOPlacement(p *PCN, mesh Mesh, opts BaselineOptions) (*Placement, BaselineStats, error) {
+	return baseline.PSO(p, mesh, opts)
+}
+
+// NoC simulation substrate.
+type (
+	// SimConfig tunes the spike-level NoC simulation.
+	SimConfig = noc.Config
+	// SimResult summarizes a simulation run.
+	SimResult = noc.Result
+	// SimRouting selects the simulator's routing algorithm.
+	SimRouting = noc.Routing
+)
+
+// Simulator routing algorithms.
+const (
+	RouteXY     = noc.RouteXY
+	RouteYX     = noc.RouteYX
+	RouteO1Turn = noc.RouteO1Turn
+)
+
+// Simulate replays the PCN's traffic through the 2D-mesh NoC under the
+// placement.
+func Simulate(p *PCN, pl *Placement, cfg SimConfig) (SimResult, error) {
+	return noc.Simulate(p, pl, cfg)
+}
+
+// Model zoo: the paper's Table 3 workloads.
+
+// DNN65K is the 65 536-neuron synthetic fully-connected workload.
+func DNN65K() *Net { return snn.DNN65K() }
+
+// DNN16M is the 16.7 M-neuron synthetic fully-connected workload.
+func DNN16M() *Net { return snn.DNN16M() }
+
+// DNN268M is the 268 M-neuron synthetic fully-connected workload.
+func DNN268M() *Net { return snn.DNN268M() }
+
+// DNN4B is the 4-billion-neuron headline workload (1 M clusters).
+func DNN4B() *Net { return snn.DNN4B() }
+
+// CNN65K is the 65 536-neuron synthetic convolutional workload.
+func CNN65K() *Net { return snn.CNN65K() }
+
+// CNN16M is the 16.7 M-neuron synthetic convolutional workload.
+func CNN16M() *Net { return snn.CNN16M() }
+
+// CNN268M is the 268 M-neuron synthetic convolutional workload.
+func CNN268M() *Net { return snn.CNN268M() }
+
+// LeNetMNIST is LeNet-5 on MNIST.
+func LeNetMNIST() *Net { return snn.LeNetMNIST() }
+
+// LeNetImageNet is the scaled-up LeNet on ImageNet.
+func LeNetImageNet() *Net { return snn.LeNetImageNet() }
+
+// AlexNet is the AlexNet workload.
+func AlexNet() *Net { return snn.AlexNet() }
+
+// MobileNet is the MobileNet v1 workload.
+func MobileNet() *Net { return snn.MobileNet() }
+
+// InceptionV3 is the InceptionV3 workload.
+func InceptionV3() *Net { return snn.InceptionV3() }
+
+// ResNet is the ResNet-152 workload, the paper's largest realistic network.
+func ResNet() *Net { return snn.ResNet() }
+
+// SynthDNN builds a custom fully-connected layered workload.
+func SynthDNN(name string, layers int, width int64) *Net { return snn.SynthDNN(name, layers, width) }
+
+// SynthCNN builds a custom locally-connected layered workload.
+func SynthCNN(name string, layers int, width, fanIn int64, window int) *Net {
+	return snn.SynthCNN(name, layers, width, fanIn, window)
+}
+
+// Spike-rate profiles (w_S modeling).
+type (
+	// RateProfile assigns per-layer spike densities by dataflow depth.
+	RateProfile = snn.RateProfile
+)
+
+// UniformRate fires every synapse at the given density.
+func UniformRate(rate float64) RateProfile { return snn.UniformRate(rate) }
+
+// DecayRate models depth-wise activity sparsification.
+func DecayRate(initial, factor float64) RateProfile { return snn.DecayRate(initial, factor) }
+
+// ApplyRates sets every layer's spike density from the profile.
+func ApplyRates(n *Net, profile RateProfile) error { return snn.ApplyRates(n, profile) }
+
+// Partition refinement (the partition-optimization substrate of the
+// related-work baselines).
+type (
+	// RefineConfig tunes RefinePartition.
+	RefineConfig = pcn.RefineConfig
+	// RefineStats reports a refinement run.
+	RefineStats = pcn.RefineStats
+)
+
+// RefinePartition improves a neuron→cluster assignment with KL-style moves
+// and swaps, reducing inter-cluster traffic under the same constraints.
+func RefinePartition(g *Graph, in *PartitionResult, cfg RefineConfig) (*PartitionResult, RefineStats, error) {
+	return pcn.RefinePartition(g, in, cfg)
+}
+
+// Multicast tree-routing evaluation (extension beyond the paper's unicast
+// model).
+type (
+	// MulticastSummary reports unicast vs tree-routed energy.
+	MulticastSummary = metrics.MulticastSummary
+)
+
+// MulticastEnergy evaluates a placement under dimension-ordered multicast.
+func MulticastEnergy(p *PCN, pl *Placement, cost CostModel) MulticastSummary {
+	return metrics.MulticastEnergy(p, pl, cost)
+}
+
+// Extra baselines beyond the paper's lineup.
+
+// PACMANPlacement is SpiNNaker's first-come-first-served placer.
+func PACMANPlacement(p *PCN, mesh Mesh, opts BaselineOptions) (*Placement, BaselineStats, error) {
+	return baseline.PACMAN(p, mesh, opts)
+}
+
+// AnnealingPlacement is the classic simulated-annealing placer.
+func AnnealingPlacement(p *PCN, mesh Mesh, opts BaselineOptions) (*Placement, BaselineStats, error) {
+	return baseline.SimulatedAnnealing(p, mesh, opts)
+}
+
+// Persistence and export.
+
+// SavePCN writes a PCN in the compact binary format.
+func SavePCN(w io.Writer, p *PCN) error { return codec.WritePCN(w, p) }
+
+// LoadPCN reads a PCN written by SavePCN.
+func LoadPCN(r io.Reader) (*PCN, error) { return codec.ReadPCN(r) }
+
+// SavePlacement writes a placement in the compact binary format.
+func SavePlacement(w io.Writer, pl *Placement) error { return codec.WritePlacement(w, pl) }
+
+// LoadPlacement reads a placement written by SavePlacement.
+func LoadPlacement(r io.Reader) (*Placement, error) { return codec.ReadPlacement(r) }
+
+// ExportDOT writes the PCN as a Graphviz digraph (maxEdges 0 = 10 000).
+func ExportDOT(w io.Writer, p *PCN, maxEdges int) error { return codec.WriteDOT(w, p, maxEdges) }
+
+// Recurrent workloads.
+type (
+	// ReservoirConfig parameterizes the liquid-state-machine builder.
+	ReservoirConfig = snn.ReservoirConfig
+)
+
+// Reservoir builds a recurrent reservoir-computing workload whose layer
+// graph contains a cycle, exercising the cycle-tolerant topological sort.
+func Reservoir(name string, cfg ReservoirConfig) (*Net, error) { return snn.Reservoir(name, cfg) }

@@ -1,0 +1,194 @@
+package snnmap_test
+
+import (
+	"testing"
+	"time"
+
+	"snnmap"
+)
+
+// TestQuickstartFlow exercises the README's quick-start path end to end
+// through the public API only.
+func TestQuickstartFlow(t *testing.T) {
+	net := snnmap.LeNetMNIST()
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := snnmap.Expand(net, snnmap.DefaultPartition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumClusters != 9 {
+		t.Fatalf("LeNet-MNIST clusters = %d, want 9 (Table 3)", p.NumClusters)
+	}
+	mesh := snnmap.MeshFor(p.NumClusters)
+	if mesh.Rows != 3 || mesh.Cols != 3 {
+		t.Fatalf("mesh = %v, want 3x3", mesh)
+	}
+	res, err := snnmap.Map(p, mesh, snnmap.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Placement.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sum := snnmap.Evaluate(p, res.Placement, snnmap.DefaultCostModel(), snnmap.MetricOptions{})
+	if sum.Energy <= 0 {
+		t.Error("energy must be positive")
+	}
+
+	// The proposed pipeline must beat a random placement.
+	rnd, _, err := snnmap.RandomPlacement(p, mesh, snnmap.BaselineOptions{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rndSum := snnmap.Evaluate(p, rnd, snnmap.DefaultCostModel(), snnmap.MetricOptions{})
+	if sum.Energy > rndSum.Energy {
+		t.Errorf("proposed energy %g worse than random %g", sum.Energy, rndSum.Energy)
+	}
+}
+
+func TestExplicitGraphPartitionFlow(t *testing.T) {
+	var b snnmap.GraphBuilder
+	l0 := b.AddNeurons(6, 0)
+	l1 := b.AddNeurons(6, 1)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			b.AddSynapse(l0+i, l1+j, 1)
+		}
+	}
+	g := b.Build()
+	res, err := snnmap.Partition(g, snnmap.PartitionConfig{
+		Constraints:   snnmap.Constraints{NeuronsPerCore: 3},
+		SplitAtLayers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PCN.NumClusters != 4 {
+		t.Fatalf("clusters = %d, want 4", res.PCN.NumClusters)
+	}
+	mesh := snnmap.MeshFor(res.PCN.NumClusters)
+	mr, err := snnmap.Map(res.PCN, mesh, snnmap.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mr.Placement.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselinesThroughPublicAPI(t *testing.T) {
+	p, err := snnmap.Expand(snnmap.CNN65K(), snnmap.DefaultPartition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := snnmap.MeshFor(p.NumClusters)
+	opts := snnmap.BaselineOptions{Seed: 1, Budget: 5 * time.Second}
+	for name, f := range map[string]func(*snnmap.PCN, snnmap.Mesh, snnmap.BaselineOptions) (*snnmap.Placement, snnmap.BaselineStats, error){
+		"random":        snnmap.RandomPlacement,
+		"truenorth":     snnmap.TrueNorthPlacement,
+		"dfsynthesizer": snnmap.DFSynthesizerPlacement,
+		"pso":           snnmap.PSOPlacement,
+	} {
+		pl, _, err := f(p, mesh, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := pl.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSimulateThroughPublicAPI(t *testing.T) {
+	p, err := snnmap.Expand(snnmap.LeNetMNIST(), snnmap.DefaultPartition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := snnmap.MeshFor(p.NumClusters)
+	res, err := snnmap.Map(p, mesh, snnmap.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := snnmap.Simulate(p, res.Placement, snnmap.SimConfig{SpikesPerUnit: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Delivered != sim.Injected || sim.Delivered == 0 {
+		t.Errorf("delivered %d of %d", sim.Delivered, sim.Injected)
+	}
+}
+
+func TestCustomHardwareFlow(t *testing.T) {
+	// Partition the same net under a Table 1 platform's per-core limits.
+	loihi, ok := snnmap.PlatformByName("Loihi")
+	if !ok {
+		t.Fatal("missing Loihi preset")
+	}
+	p, err := snnmap.Expand(snnmap.LeNetMNIST(), snnmap.PartitionConfig{
+		Constraints: loihi.Constraints(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loihi cores hold 128 neurons → far more clusters than the default.
+	if p.NumClusters <= 9 {
+		t.Errorf("Loihi clusters = %d, want many more than 9", p.NumClusters)
+	}
+	mesh := snnmap.MeshFor(p.NumClusters)
+	if _, err := snnmap.Map(p, mesh, snnmap.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinetunePublic(t *testing.T) {
+	p, err := snnmap.Expand(snnmap.DNN65K(), snnmap.DefaultPartition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := snnmap.MeshFor(p.NumClusters)
+	pl, err := snnmap.InitialPlacement(p, mesh, snnmap.Hilbert{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := snnmap.Finetune(p, pl, snnmap.FDConfig{Potential: snnmap.PotentialL2Sq{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalEnergy > stats.InitialEnergy {
+		t.Error("finetune must not worsen energy")
+	}
+}
+
+func TestRecurrentWorkloadEndToEnd(t *testing.T) {
+	// Algorithm 2 tolerates cycles; a reservoir (liquid state machine)
+	// exercises that through the whole pipeline.
+	net, err := snnmap.Reservoir("lsm", snnmap.ReservoirConfig{
+		Inputs: 4096, ReservoirNeurons: 32768, Readouts: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := snnmap.Expand(net, snnmap.DefaultPartition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := snnmap.MeshFor(p.NumClusters)
+	res, err := snnmap.Map(p, mesh, snnmap.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Placement.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sum := snnmap.Evaluate(p, res.Placement, snnmap.DefaultCostModel(), snnmap.MetricOptions{})
+	rnd, _, err := snnmap.RandomPlacement(p, mesh, snnmap.BaselineOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := snnmap.Evaluate(p, rnd, snnmap.DefaultCostModel(), snnmap.MetricOptions{})
+	if sum.Energy > base.Energy {
+		t.Errorf("recurrent mapping worse than random: %g vs %g", sum.Energy, base.Energy)
+	}
+}
