@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		runs     = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,fig6,fig8,fig9,fig10,fig11,fig12,fig13,sweep,headline,ablation,multicast,all")
+		runs     = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,fig6,fig8,fig9,fig10,fig11,fig12,fig13,sweep,headline,ablation,multicast,faults,all")
 		scaleStr = flag.String("scale", "small", "workload tier: tiny|small|medium|full")
 		seed     = flag.Int64("seed", 1, "seed for randomized methods")
 		budget   = flag.Duration("budget", 30*time.Second, "wall-clock budget per method run (0 = unlimited)")
@@ -123,6 +123,16 @@ func main() {
 	if all || want["multicast"] {
 		section("Extension: multicast tree-routing savings")
 		if err := expt.Multicast(out, scale, opts); err != nil {
+			fatal(err)
+		}
+	}
+	if all || want["faults"] {
+		section("Extension: fault-aware mapping under dead cores and failed links")
+		wl := *workload
+		if all && scale < expt.ScaleMedium {
+			wl = "LeNet-ImageNet"
+		}
+		if err := expt.FaultSweep(out, wl, []float64{0, 0.01, 0.05, 0.10, 0.20}, 0.02, opts); err != nil {
 			fatal(err)
 		}
 	}

@@ -9,10 +9,13 @@
 //	snnmap -workload ResNet -method Proposed -budget 1m
 //	snnmap -workload CNN_16M -method TrueNorth
 //	snnmap -workload LeNet-MNIST -sim -render -multicast
+//	snnmap -workload LeNet-ImageNet -faults uniform:dead=0.05,links=0.02,seed=7 -sim
+//	snnmap -workload LeNet-MNIST -faults defects.json -sim
 //	snnmap -workload MobileNet -save-placement mobilenet.plc -export-dot mobilenet.dot
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +25,7 @@ import (
 	"snnmap/internal/codec"
 	"snnmap/internal/expt"
 	"snnmap/internal/hw"
+	"snnmap/internal/mapping"
 	"snnmap/internal/metrics"
 	"snnmap/internal/noc"
 	"snnmap/internal/pcn"
@@ -37,6 +41,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for randomized methods")
 		budget    = flag.Duration("budget", time.Minute, "wall-clock budget (0 = unlimited)")
 		sim       = flag.Bool("sim", false, "replay the traffic through the NoC simulator (small workloads)")
+		faults    = flag.String("faults", "", "defect map: a JSON file path, or a spec like uniform:dead=0.05,links=0.02,seed=7 / clustered:dead=0.1,blobs=3 / lines:rows=1 (grows the mesh for headroom)")
 		render    = flag.Bool("render", false, "render the layer map and congestion heatmap (small meshes)")
 		multicast = flag.Bool("multicast", false, "also evaluate the multicast tree-routing energy model")
 		savePCN   = flag.String("save-pcn", "", "write the partitioned cluster network (binary) to this file")
@@ -82,7 +87,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pl, stats, err := m.Run(p, mesh, expt.RunOptions{Seed: *seed, Budget: *budget})
+	var defects *hw.DefectMap
+	specFaults := *faults != "" && !fileExists(*faults)
+	if *faults != "" {
+		if defects, mesh, err = loadDefects(*faults, mesh, p.NumClusters); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("defects: %d dead cores, %d degraded, %d failed links on %v\n",
+			defects.NumDead(), defects.NumDegraded(), defects.NumFailedLinks(), mesh)
+	}
+	opts := expt.RunOptions{Seed: *seed, Budget: *budget, Defects: defects}
+	pl, stats, err := m.Run(p, mesh, opts)
+	for errors.Is(err, mapping.ErrUnplaceable) && specFaults {
+		// Spec-based faults: grow the mesh one row/column and re-inject until
+		// the workload fits around the dead cores.
+		side := mesh.Rows + 1
+		if side > 4*mesh.Rows {
+			break
+		}
+		mesh = hw.MustMesh(side, side)
+		if defects, err = hw.ParseDefectSpec(mesh, *faults); err != nil {
+			fatal(err)
+		}
+		opts.Defects = defects
+		pl, stats, err = m.Run(p, mesh, opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -95,6 +124,12 @@ func main() {
 	cost := hw.DefaultCostModel()
 	sum := metrics.Evaluate(p, pl, cost, metrics.Options{})
 	fmt.Printf("metrics: %s\n", sum)
+	if defects != nil {
+		if err := pl.ValidateDefects(defects); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("degradation: %s\n", metrics.EvaluateDegradation(p, pl, defects))
+	}
 
 	if *multicast {
 		mc := metrics.MulticastEnergy(p, pl, cost)
@@ -103,12 +138,20 @@ func main() {
 	}
 
 	if *sim {
-		res, err := noc.Simulate(p, pl, noc.Config{SpikesPerUnit: simScale(p.TotalWeight())})
+		res, err := noc.Simulate(p, pl, noc.Config{
+			SpikesPerUnit: simScale(p.TotalWeight()),
+			Defects:       defects,
+			FaultAware:    defects != nil,
+		})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("NoC simulation: %d spikes delivered in %d cycles; energy=%.4g avgLat=%.2f cycles maxLat=%d avgHops=%.2f maxQueue=%d\n",
 			res.Delivered, res.Cycles, res.Energy, res.AvgLatencyCycles, res.MaxLatencyCycles, res.AvgHops, res.MaxQueueLen)
+		if defects != nil {
+			fmt.Printf("NoC degradation: delivered %.4f of %d injected spikes (%d dropped)\n",
+				res.DeliveredFraction(), res.Injected, res.Dropped)
+		}
 	}
 
 	if *render {
@@ -131,6 +174,59 @@ func main() {
 	writeFile(*savePlace, func(f *os.File) error { return codec.WritePlacement(f, pl) })
 	writeFile(*exportDot, func(f *os.File) error { return codec.WriteDOT(f, p, 0) })
 	writeFile(*exportCSV, func(f *os.File) error { return codec.WritePlacementCSV(f, pl) })
+}
+
+// loadDefects resolves the -faults flag: an existing file is read as a
+// defect-map JSON (its mesh replaces the workload's), anything else is parsed
+// as an injection spec on a mesh pre-grown with dead-core headroom.
+func loadDefects(arg string, mesh hw.Mesh, clusters int) (*hw.DefectMap, hw.Mesh, error) {
+	if fileExists(arg) {
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, mesh, err
+		}
+		defer f.Close()
+		d, err := hw.ReadDefectMap(f)
+		if err != nil {
+			return nil, mesh, err
+		}
+		if d.HealthyCores() < clusters {
+			return nil, mesh, fmt.Errorf("defect map %s leaves %d healthy cores for %d clusters", arg, d.HealthyCores(), clusters)
+		}
+		return d, d.Mesh(), nil
+	}
+	// Spec: give the mesh headroom for the requested dead fraction before
+	// injecting, so typical runs place without growing.
+	if frac, ok := specDeadFrac(arg); ok && frac > 0 {
+		grown := expt.MeshForHealthy(clusters, frac)
+		if grown.Cores() > mesh.Cores() {
+			mesh = grown
+		}
+	}
+	d, err := hw.ParseDefectSpec(mesh, arg)
+	return d, mesh, err
+}
+
+// specDeadFrac extracts the dead= fraction from an injection spec, if any.
+func specDeadFrac(spec string) (float64, bool) {
+	_, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return 0, false
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		if v, ok := strings.CutPrefix(kv, "dead="); ok {
+			var f float64
+			if _, err := fmt.Sscanf(v, "%g", &f); err == nil {
+				return f, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func fileExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && !st.IsDir()
 }
 
 // simScale picks a spikes-per-unit factor that keeps simulations below

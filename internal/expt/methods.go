@@ -21,6 +21,13 @@ type RunOptions struct {
 	Budget time.Duration
 	// Cost is the hardware cost model (zero value = Table 2 defaults).
 	Cost hw.CostModel
+	// Defects marks dead cores, degraded capacities and failed links of
+	// the target mesh. Curve and FD methods place around them; baseline
+	// methods do not support defect maps and fail when one is set.
+	Defects *hw.DefectMap
+	// Constraints is the capacity baseline Defects' degrade scales apply
+	// to (zero value = unconstrained).
+	Constraints hw.Constraints
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -47,7 +54,7 @@ type Method struct {
 func curveMethod(name string, c curve.Curve) Method {
 	return Method{Name: name, Run: func(p *pcn.PCN, mesh hw.Mesh, opts RunOptions) (*place.Placement, MethodStats, error) {
 		start := time.Now()
-		pl, err := mapping.InitialPlacement(p, mesh, c)
+		pl, err := mapping.InitialPlacementDefects(p, mesh, c, opts.Defects, opts.Constraints)
 		return pl, MethodStats{Elapsed: time.Since(start)}, err
 	}}
 }
@@ -59,7 +66,9 @@ func fdMethod(name string, c curve.Curve, pot func(hw.CostModel) mapping.Potenti
 		var pl *place.Placement
 		var err error
 		if c != nil {
-			pl, err = mapping.InitialPlacement(p, mesh, c)
+			pl, err = mapping.InitialPlacementDefects(p, mesh, c, opts.Defects, opts.Constraints)
+		} else if opts.Defects.NumDead() > 0 {
+			return nil, MethodStats{}, fmt.Errorf("expt: method %s: random initial placement does not support defect maps", name)
 		} else {
 			pl, _, err = baseline.Random(p, mesh, baseline.Options{Seed: opts.Seed})
 		}
@@ -67,8 +76,10 @@ func fdMethod(name string, c curve.Curve, pot func(hw.CostModel) mapping.Potenti
 			return nil, MethodStats{}, err
 		}
 		stats, err := mapping.Finetune(p, pl, mapping.FDConfig{
-			Potential: pot(opts.Cost),
-			Budget:    opts.Budget,
+			Potential:   pot(opts.Cost),
+			Budget:      opts.Budget,
+			Defects:     opts.Defects,
+			Constraints: opts.Constraints,
 		})
 		if err != nil {
 			return nil, MethodStats{}, err
@@ -80,6 +91,9 @@ func fdMethod(name string, c curve.Curve, pot func(hw.CostModel) mapping.Potenti
 func baselineMethod(name string, run func(*pcn.PCN, hw.Mesh, baseline.Options) (*place.Placement, baseline.Stats, error)) Method {
 	return Method{Name: name, Run: func(p *pcn.PCN, mesh hw.Mesh, opts RunOptions) (*place.Placement, MethodStats, error) {
 		opts = opts.withDefaults()
+		if opts.Defects != nil && (opts.Defects.NumDead() > 0 || opts.Defects.NumDegraded() > 0) {
+			return nil, MethodStats{}, fmt.Errorf("expt: method %s does not support defect maps; use a curve/FD method", name)
+		}
 		pl, stats, err := run(p, mesh, baseline.Options{Seed: opts.Seed, Budget: opts.Budget, Cost: opts.Cost})
 		return pl, MethodStats{Elapsed: stats.Elapsed, EarlyStopped: stats.EarlyStopped}, err
 	}}

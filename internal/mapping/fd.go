@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -35,6 +36,15 @@ type FDConfig struct {
 	// current placement is returned with Converged=false, mirroring the
 	// paper's early-stop protocol for slow methods.
 	Budget time.Duration
+	// Defects marks dead cores and degraded capacities on the mesh. Swaps
+	// that would move a cluster onto a dead core are blocked; with a
+	// constrained Constraints, swaps overfilling a capacity-degraded core
+	// are blocked too. Nil means a pristine mesh.
+	Defects *hw.DefectMap
+	// Constraints is the per-core capacity baseline that Defects' degrade
+	// scales apply to. The zero value means unconstrained (degraded cores
+	// then only differ from healthy ones when dead).
+	Constraints hw.Constraints
 	// Workers parallelizes the O(|E|) build phases (initial forces, the
 	// initial tension queue, and energy accounting) across goroutines.
 	// Results are bit-identical regardless of the value: force cells are
@@ -93,7 +103,18 @@ type FDStats struct {
 // in place, mutating pl, and returns run statistics. The placement must be
 // valid for the PCN.
 func Finetune(p *pcn.PCN, pl *place.Placement, cfg FDConfig) (FDStats, error) {
+	return FinetuneContext(context.Background(), p, pl, cfg)
+}
+
+// FinetuneContext is Finetune with cooperative cancellation: the sweep loop
+// checks ctx between iterations and every few thousand pair evaluations, and
+// returns an error wrapping ErrCanceled (with the statistics accumulated so
+// far) when the context is done.
+func FinetuneContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg FDConfig) (FDStats, error) {
 	cfg = cfg.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return FDStats{}, fmt.Errorf("mapping: finetune: %v: %w", err, ErrCanceled)
+	}
 	if len(pl.PosOf) != p.NumClusters {
 		return FDStats{}, fmt.Errorf("mapping: placement covers %d clusters, PCN has %d", len(pl.PosOf), p.NumClusters)
 	}
@@ -123,6 +144,11 @@ func Finetune(p *pcn.PCN, pl *place.Placement, cfg FDConfig) (FDStats, error) {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			stats.FinalEnergy = e.systemEnergyParallel(workers)
+			stats.Elapsed = time.Since(start)
+			return stats, fmt.Errorf("mapping: finetune: %v: %w", err, ErrCanceled)
+		}
 		stats.Iterations++
 
 		// Swap the top λ fraction of the queue (lines 17-29).
@@ -132,6 +158,9 @@ func Finetune(p *pcn.PCN, pl *place.Placement, cfg FDConfig) (FDStats, error) {
 		}
 		e.beginEpoch()
 		for i := 0; i < limit; i++ {
+			if i&8191 == 8191 && ctx.Err() != nil {
+				break // finish the epoch bookkeeping, fail at the loop head
+			}
 			id := queue[i].id
 			t := e.tension(id)
 			stats.TensionChecks++
@@ -171,6 +200,11 @@ type fdEngine struct {
 	pl   *place.Placement
 	mesh hw.Mesh
 	pot  Potential
+	// defects/cons implement fault-aware swapping: pairs touching a dead
+	// cell, or whose swap would overfill a degraded cell, report zero
+	// tension and are therefore never enqueued or executed.
+	defects *hw.DefectMap
+	cons    hw.Constraints
 	// unitCorr is 2·(u(1)−u(0)), the tension correction for mutually
 	// connected adjacent clusters (see DESIGN.md: tension is the exact
 	// swap ΔE_s, so the mutual edge — whose length a swap cannot change —
@@ -196,6 +230,8 @@ func newFDEngine(p *pcn.PCN, pl *place.Placement, cfg FDConfig) *fdEngine {
 		pl:          pl,
 		mesh:        mesh,
 		pot:         cfg.Potential,
+		defects:     cfg.Defects,
+		cons:        cfg.Constraints,
 		unitCorr:    2 * (cfg.Potential.AtUnit() - cfg.Potential.AtZero()),
 		force:       make([]float64, 4*mesh.Cores()),
 		pairMark:    make([]int32, 2*mesh.Cores()),
@@ -360,10 +396,34 @@ func (e *fdEngine) mutualWeight(c1, c2 int32) float64 {
 	return 0
 }
 
+// blocked reports whether the swap of pair id is illegal on the defective
+// mesh: it touches a dead cell, or would move a cluster onto a degraded cell
+// it does not fit.
+func (e *fdEngine) blocked(id int32) bool {
+	if e.defects == nil {
+		return false
+	}
+	a, b, _ := e.pairCells(id)
+	if e.defects.IsDead(int(a)) || e.defects.IsDead(int(b)) {
+		return true
+	}
+	ca, cb := e.pl.ClusterAt[a], e.pl.ClusterAt[b]
+	if ca != place.None && !clusterFits(e.p, int(ca), e.cons, e.defects.CapScale(int(b))) {
+		return true
+	}
+	if cb != place.None && !clusterFits(e.p, int(cb), e.cons, e.defects.CapScale(int(a))) {
+		return true
+	}
+	return false
+}
+
 // tension returns the exact swap gain (Eq. 30 corrected for mutual edges)
 // for the adjacent-cell pair id: the decrease of E_s if the two cells'
-// contents are exchanged.
+// contents are exchanged. Swaps blocked by the defect map report zero.
 func (e *fdEngine) tension(id int32) float64 {
+	if e.blocked(id) {
+		return 0
+	}
 	a, b, d := e.pairCells(id)
 	ca, cb := e.pl.ClusterAt[a], e.pl.ClusterAt[b]
 	switch {

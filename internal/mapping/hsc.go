@@ -16,8 +16,20 @@ import (
 // works; the paper's approach uses the Hilbert curve, with ZigZag and Circle
 // retained for the Figure 6/8 comparisons.
 func InitialPlacement(p *pcn.PCN, mesh hw.Mesh, c curve.Curve) (*place.Placement, error) {
-	if p.NumClusters > mesh.Cores() {
-		return nil, fmt.Errorf("mapping: %d clusters exceed %v mesh capacity", p.NumClusters, mesh)
+	return InitialPlacementDefects(p, mesh, c, nil, hw.Constraints{})
+}
+
+// InitialPlacementDefects is InitialPlacement on a defective mesh: the curve
+// order is preserved, but dead cells are skipped along it (so locality
+// degrades gracefully instead of collapsing), and — when cons is constrained
+// — capacity-degraded cells that cannot hold the next cluster are left
+// empty. It returns an error wrapping place.ErrUnplaceable when the healthy
+// mesh cannot hold the PCN.
+func InitialPlacementDefects(p *pcn.PCN, mesh hw.Mesh, c curve.Curve, d *hw.DefectMap, cons hw.Constraints) (*place.Placement, error) {
+	healthy := mesh.Cores() - d.NumDead()
+	if p.NumClusters > healthy {
+		return nil, fmt.Errorf("mapping: %d clusters exceed %v mesh healthy capacity %d (%d dead cores): %w",
+			p.NumClusters, mesh, healthy, d.NumDead(), place.ErrUnplaceable)
 	}
 	order := toposort.Order(p)
 	pts := c.Points(mesh.Rows, mesh.Cols)
@@ -25,9 +37,38 @@ func InitialPlacement(p *pcn.PCN, mesh hw.Mesh, c curve.Curve) (*place.Placement
 	if err != nil {
 		return nil, err
 	}
-	for j, cluster := range order {
-		pt := pts[j]
-		pl.Assign(int(cluster), int32(mesh.Index(pt)))
+	j := 0
+	for _, pt := range pts {
+		if j >= len(order) {
+			break
+		}
+		idx := mesh.Index(pt)
+		if d.IsDead(idx) {
+			continue
+		}
+		cluster := order[j]
+		if !clusterFits(p, int(cluster), cons, d.CapScale(idx)) {
+			continue // degraded cell too small for this cluster; leave empty
+		}
+		if err := pl.TryAssign(int(cluster), int32(idx)); err != nil {
+			return nil, err
+		}
+		j++
+	}
+	if j < len(order) {
+		return nil, fmt.Errorf("mapping: %d of %d clusters left unplaced by degraded capacities: %w",
+			len(order)-j, len(order), place.ErrUnplaceable)
 	}
 	return pl, nil
+}
+
+// clusterFits reports whether cluster c respects the constraints scaled to
+// the core's usable-capacity fraction. Full-capacity cores always fit: the
+// partitioner already enforced the base constraints.
+func clusterFits(p *pcn.PCN, c int, cons hw.Constraints, scale float64) bool {
+	if scale >= 1 {
+		return true
+	}
+	sc := cons.Scale(scale)
+	return sc.FitsNeurons(int(p.Neurons[c])) && sc.FitsSynapses(int(p.Synapses[c]))
 }

@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,17 @@ import (
 	"snnmap/internal/hw"
 	"snnmap/internal/pcn"
 	"snnmap/internal/place"
+)
+
+// Sentinel errors raised by the mapping pipeline (re-exported from
+// internal/place, the bottom of the import graph, so errors.Is works against
+// either package).
+var (
+	// ErrUnplaceable reports that no legal placement exists on the healthy
+	// portion of the mesh.
+	ErrUnplaceable = place.ErrUnplaceable
+	// ErrCanceled reports that the caller's context canceled the operation.
+	ErrCanceled = place.ErrCanceled
 )
 
 // Config describes one complete mapping pipeline: an initial placement
@@ -25,6 +37,14 @@ type Config struct {
 	// u_c shapes the layout, the energy potential then descends the true
 	// M_ec objective from an already-good configuration.
 	Polish *FDConfig
+	// Defects marks dead cores, degraded capacities and failed links of
+	// the physical mesh. The initial placement lays the curve sequence
+	// over healthy cores only, and fine-tuning never swaps onto a dead or
+	// overfull core. Nil means a pristine mesh.
+	Defects *hw.DefectMap
+	// Constraints is the per-core capacity baseline that Defects' degrade
+	// scales apply to (zero value = unconstrained).
+	Constraints hw.Constraints
 }
 
 // Default returns the paper's proposed approach (HSC + FD with u_c).
@@ -46,26 +66,41 @@ type Result struct {
 
 // Map runs the configured pipeline on the PCN and mesh.
 func Map(p *pcn.PCN, mesh hw.Mesh, cfg Config) (Result, error) {
+	return MapContext(context.Background(), p, mesh, cfg)
+}
+
+// MapContext is Map with cooperative cancellation: long-running phases check
+// ctx periodically and return an error wrapping ErrCanceled when it is done.
+func MapContext(ctx context.Context, p *pcn.PCN, mesh hw.Mesh, cfg Config) (Result, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("mapping: %v: %w", err, ErrCanceled)
+	}
 	c := cfg.Curve
 	if c == nil {
 		c = curve.Hilbert{}
 	}
-	pl, err := InitialPlacement(p, mesh, c)
+	pl, err := InitialPlacementDefects(p, mesh, c, cfg.Defects, cfg.Constraints)
 	if err != nil {
 		return Result{}, fmt.Errorf("mapping: initial placement: %w", err)
 	}
 	res := Result{Placement: pl}
-	if cfg.FD != nil {
-		res.FD, err = Finetune(p, pl, *cfg.FD)
-		if err != nil {
-			return Result{}, fmt.Errorf("mapping: finetune: %w", err)
+	for _, phase := range []struct {
+		cfg  *FDConfig
+		out  *FDStats
+		name string
+	}{{cfg.FD, &res.FD, "finetune"}, {cfg.Polish, &res.Polish, "polish"}} {
+		if phase.cfg == nil {
+			continue
 		}
-	}
-	if cfg.Polish != nil {
-		res.Polish, err = Finetune(p, pl, *cfg.Polish)
+		fdcfg := *phase.cfg
+		if fdcfg.Defects == nil {
+			fdcfg.Defects = cfg.Defects
+			fdcfg.Constraints = cfg.Constraints
+		}
+		*phase.out, err = FinetuneContext(ctx, p, pl, fdcfg)
 		if err != nil {
-			return Result{}, fmt.Errorf("mapping: polish: %w", err)
+			return Result{}, fmt.Errorf("mapping: %s: %w", phase.name, err)
 		}
 	}
 	res.Elapsed = time.Since(start)

@@ -9,9 +9,19 @@
 // so simulated traversal counts reproduce Eq. 9's energy and Eq. 10's
 // latency exactly, while contention exposes the queueing effects that the
 // congestion metrics (Eqs. 12-14) summarize.
+//
+// A hw.DefectMap turns the pristine mesh into a faulty one: spikes never
+// enter dead routers, and failed links either drop traffic (modeling a chip
+// without adaptive routing) or, with FaultAware routing, force a detour —
+// the secondary dimension order first, then a bounded misroute. Runs on a
+// faulty mesh account undeliverable spikes instead of failing, and a
+// progress watchdog converts a livelocked or deadlocked simulation into a
+// typed ErrLivelock instead of a hang.
 package noc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"snnmap/internal/geom"
@@ -20,7 +30,18 @@ import (
 	"snnmap/internal/place"
 )
 
-// Config tunes a simulation run.
+// Sentinel errors raised by the simulator.
+var (
+	// ErrBadConfig reports an invalid Config (see Config.Validate).
+	ErrBadConfig = errors.New("noc: invalid config")
+	// ErrLivelock reports that the simulation stopped making forward
+	// progress (or exceeded MaxCycles) with spikes still in flight.
+	ErrLivelock = errors.New("noc: livelock")
+	// ErrCanceled reports that the caller's context canceled the run
+	// (shared with the mapping pipeline via internal/place).
+	ErrCanceled = place.ErrCanceled
+)
+
 // Routing selects the simulator's route computation.
 type Routing uint8
 
@@ -50,6 +71,7 @@ func (r Routing) String() string {
 	return fmt.Sprintf("Routing(%d)", uint8(r))
 }
 
+// Config tunes a simulation run.
 type Config struct {
 	// Cost converts traversal counts into energy and ideal latency; the
 	// zero value means hw.DefaultCostModel().
@@ -59,7 +81,9 @@ type Config struct {
 	// QueueCap bounds every output queue; a full downstream queue
 	// backpressures the upstream router (credit-based store-and-forward).
 	// Dimension-ordered routing keeps the channel dependency graph acyclic,
-	// so bounded runs stay deadlock-free. 0 means unbounded.
+	// so bounded runs stay deadlock-free; fault-aware detours can break
+	// that guarantee, in which case the progress watchdog reports
+	// ErrLivelock instead of hanging. 0 means unbounded.
 	QueueCap int
 	// SpikesPerUnit scales PCN edge weights into injected spike counts
 	// (each edge injects max(1, round(w·SpikesPerUnit)) spikes). Zero
@@ -68,11 +92,30 @@ type Config struct {
 	// InjectionInterval is the gap in cycles between consecutive spikes of
 	// the same edge (1 = back-to-back). Zero means 1.
 	InjectionInterval int
-	// MaxCycles aborts runaway simulations. Zero means 10_000_000.
+	// MaxCycles aborts runaway simulations with an error wrapping
+	// ErrLivelock. Zero means 10_000_000.
 	MaxCycles int
 	// MaxSpikes caps the total injected spike count to keep memory
 	// bounded. Zero means 5_000_000.
 	MaxSpikes int64
+	// Defects marks dead cores and failed links. Spikes sourced at or
+	// destined to a dead core are dropped at injection; failed links are
+	// never traversed.
+	Defects *hw.DefectMap
+	// FaultAware enables detour routing around failed links: the
+	// secondary productive dimension first, then a misroute bounded by
+	// MaxDetourHops. When false, a spike whose dimension-ordered next hop
+	// is failed is dropped at that router.
+	FaultAware bool
+	// MaxDetourHops bounds the total hops of a detoured spike; past it the
+	// spike is dropped as undeliverable (it may be circling an unreachable
+	// destination). Zero means 4·(rows+cols).
+	MaxDetourHops int
+	// WatchdogCycles is the progress watchdog: if no spike is injected,
+	// delivered or dropped for this many cycles while spikes are in
+	// flight, the run fails with ErrLivelock. Zero means 1_000_000; it is
+	// clamped to at least twice the injection interval.
+	WatchdogCycles int
 }
 
 func (c Config) withDefaults() Config {
@@ -91,14 +134,55 @@ func (c Config) withDefaults() Config {
 	if c.MaxSpikes <= 0 {
 		c.MaxSpikes = 5_000_000
 	}
+	if c.WatchdogCycles <= 0 {
+		c.WatchdogCycles = 1_000_000
+	}
+	if c.WatchdogCycles < 2*c.InjectionInterval {
+		c.WatchdogCycles = 2 * c.InjectionInterval
+	}
 	return c
+}
+
+// Validate checks the configuration up front, before any simulation state is
+// built, returning an error wrapping ErrBadConfig on the first problem.
+func (c Config) Validate() error {
+	if c.Routing > RouteO1Turn {
+		return fmt.Errorf("%w: unknown routing %d", ErrBadConfig, c.Routing)
+	}
+	if c.Routing == RouteO1Turn && c.QueueCap > 0 {
+		return fmt.Errorf("%w: O1Turn routing requires unbounded queues (it needs virtual channels to stay deadlock-free); set QueueCap to 0", ErrBadConfig)
+	}
+	if c.QueueCap < 0 {
+		return fmt.Errorf("%w: negative QueueCap %d", ErrBadConfig, c.QueueCap)
+	}
+	if c.SpikesPerUnit < 0 {
+		return fmt.Errorf("%w: negative SpikesPerUnit %g", ErrBadConfig, c.SpikesPerUnit)
+	}
+	for _, v := range [...]struct {
+		name string
+		val  int
+	}{
+		{"InjectionInterval", c.InjectionInterval},
+		{"MaxCycles", c.MaxCycles},
+		{"MaxDetourHops", c.MaxDetourHops},
+		{"WatchdogCycles", c.WatchdogCycles},
+	} {
+		if v.val < 0 {
+			return fmt.Errorf("%w: negative %s %d", ErrBadConfig, v.name, v.val)
+		}
+	}
+	if c.MaxSpikes < 0 {
+		return fmt.Errorf("%w: negative MaxSpikes %d", ErrBadConfig, c.MaxSpikes)
+	}
+	return nil
 }
 
 // Result summarizes a simulation.
 type Result struct {
-	// Injected and Delivered are spike counts; a completed run has them
-	// equal.
-	Injected, Delivered int64
+	// Injected, Delivered and Dropped are spike counts; a completed run
+	// has Injected == Delivered + Dropped (Dropped is nonzero only on a
+	// faulty mesh).
+	Injected, Delivered, Dropped int64
 	// Cycles is the simulated cycle count until the network drained.
 	Cycles int
 	// RouterTraversals counts service events per router (the simulated
@@ -125,10 +209,21 @@ type Result struct {
 	InjectionStalls int64
 }
 
+// DeliveredFraction returns Delivered/Injected — the degradation headline of
+// a faulty-mesh run. An empty run reports 1.
+func (r Result) DeliveredFraction() float64 {
+	if r.Injected == 0 {
+		return 1
+	}
+	return float64(r.Delivered) / float64(r.Injected)
+}
+
 // flit is one in-flight spike.
 type flit struct {
 	dst      int32 // destination core index
 	injected int32 // injection cycle
+	hops     int32 // links crossed so far (detour budget accounting)
+	detour   uint8 // remaining hops of sticky detour mode after a blocked port
 	yx       bool  // row-first dimension order (RouteYX / O1Turn choice)
 }
 
@@ -153,17 +248,108 @@ func (q *queue) pop() flit {
 }
 
 // Simulate injects the PCN's traffic into the mesh under the placement and
-// runs until every spike is delivered (or a limit is hit, returning an
-// error).
+// runs until every spike is delivered or dropped (or a limit is hit,
+// returning an error).
 func Simulate(p *pcn.PCN, pl *place.Placement, cfg Config) (Result, error) {
+	return SimulateContext(context.Background(), p, pl, cfg)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: the cycle loop
+// checks ctx periodically and returns the partial Result with an error
+// wrapping ErrCanceled when the context is done.
+func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	cfg = cfg.withDefaults()
-	if cfg.Routing == RouteO1Turn && cfg.QueueCap > 0 {
-		return Result{}, fmt.Errorf("noc: O1Turn routing requires unbounded queues (it needs virtual channels to stay deadlock-free)")
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("noc: %v: %w", err, ErrCanceled)
 	}
 	mesh := pl.Mesh
 	cores := mesh.Cores()
+	defects := cfg.Defects
+	maxHops := int32(cfg.MaxDetourHops)
+	if maxHops == 0 {
+		maxHops = int32(4 * (mesh.Rows + mesh.Cols))
+	}
 
-	// Build the injection schedule: per edge, a spike train.
+	// portOnMesh reports whether router idx has a neighbor on port.
+	portOnMesh := func(idx, port int) bool {
+		r, c := idx/mesh.Cols, idx%mesh.Cols
+		switch geom.Dir(port) {
+		case geom.Up:
+			return r > 0
+		case geom.Down:
+			return r < mesh.Rows-1
+		case geom.Right:
+			return c < mesh.Cols-1
+		case geom.Left:
+			return c > 0
+		}
+		return false
+	}
+	neighbor := func(idx, port int) int {
+		switch geom.Dir(port) {
+		case geom.Up:
+			return idx - mesh.Cols
+		case geom.Down:
+			return idx + mesh.Cols
+		case geom.Right:
+			return idx + 1
+		case geom.Left:
+			return idx - 1
+		}
+		return idx
+	}
+	// linkOK reports whether the link leaving idx on port is usable: not
+	// failed, and not leading into a dead router.
+	linkOK := func(idx, port int) bool {
+		if defects.LinkDownDir(idx, geom.Dir(port)) {
+			return false
+		}
+		return !defects.IsDead(neighbor(idx, port))
+	}
+
+	// comp labels alive routers with their connected component over usable
+	// links. Dead cores and failed links can partition the mesh; a spike
+	// whose endpoints straddle components is undeliverable by construction,
+	// so it is dropped at injection instead of orbiting in the network until
+	// its detour budget runs out.
+	var comp []int32
+	if defects != nil && (defects.NumDead() > 0 || defects.NumFailedLinks() > 0) {
+		comp = make([]int32, cores)
+		for i := range comp {
+			comp[i] = -1
+		}
+		var stack []int32
+		next := int32(0)
+		for s := 0; s < cores; s++ {
+			if comp[s] >= 0 || defects.IsDead(s) {
+				continue
+			}
+			comp[s] = next
+			stack = append(stack[:0], int32(s))
+			for len(stack) > 0 {
+				idx := int(stack[len(stack)-1])
+				stack = stack[:len(stack)-1]
+				for port := 0; port < 4; port++ {
+					if !portOnMesh(idx, port) || !linkOK(idx, port) {
+						continue
+					}
+					if nb := neighbor(idx, port); comp[nb] < 0 {
+						comp[nb] = next
+						stack = append(stack, int32(nb))
+					}
+				}
+			}
+			next++
+		}
+	}
+
+	// Build the injection schedule: per edge, a spike train. Spikes whose
+	// endpoints sit on dead cores — or in mesh regions disconnected from
+	// each other — can never be serviced; they count as injected-and-dropped
+	// without entering the network.
 	type train struct {
 		src, dst int32
 		count    int32
@@ -183,7 +369,13 @@ func Simulate(p *pcn.PCN, pl *place.Placement, cfg Config) (Result, error) {
 				return Result{}, fmt.Errorf("noc: workload needs more than MaxSpikes=%d spikes; lower SpikesPerUnit", cfg.MaxSpikes)
 			}
 			res.Injected += n
-			trains = append(trains, train{src: src, dst: pl.PosOf[to], count: int32(n)})
+			dst := pl.PosOf[to]
+			if defects.IsDead(int(src)) || defects.IsDead(int(dst)) ||
+				(comp != nil && comp[src] != comp[dst]) {
+				res.Dropped += n
+				continue
+			}
+			trains = append(trains, train{src: src, dst: dst, count: int32(n)})
 		}
 	}
 
@@ -222,6 +414,71 @@ func Simulate(p *pcn.PCN, pl *place.Placement, cfg Config) (Result, error) {
 		}
 		return local
 	}
+	// detourHops is how long a flit stays in sticky detour mode after
+	// hitting a blocked port — long enough to walk around a dead blob's
+	// boundary instead of being shoved straight back against it by greedy
+	// productive routing at the first healthy router.
+	detourHops := (mesh.Rows + mesh.Cols) / 2
+	if detourHops < 8 {
+		detourHops = 8
+	}
+	if detourHops > 64 {
+		detourHops = 64
+	}
+	// routePort is the fault-aware route computation at router idx. The
+	// second return is true when the flit must be dropped (its
+	// dimension-ordered next hop is failed and fault-aware routing is off,
+	// or no usable port exists); the third is true when the flit hit a
+	// blocked port and must (re-)enter sticky detour mode.
+	routePort := func(idx int, f flit) (int, bool, bool) {
+		p0 := route(idx, f)
+		primaryOK := defects == nil || p0 == local || linkOK(idx, p0)
+		if primaryOK && (f.detour == 0 || p0 == local) {
+			return p0, false, false
+		}
+		if !primaryOK && !cfg.FaultAware {
+			return 0, true, true
+		}
+		// Detour walk: a weighted hash pick among every usable port, keyed
+		// by (destination, router, hop count). Productive ports — the
+		// primary when merely in detour mode, and the other dimension
+		// order's choice — get extra weight, but are never mandatory: a
+		// deterministic preference turns dead-end pockets into infinite
+		// ping-pongs (productive into the pocket, forced back out of it),
+		// and reverting to greedy routing the moment a port is usable pins
+		// flits against the fault boundary forever. The hash is
+		// reproducible yet de-correlates flits from each other and from
+		// their own past, so blocked flits random-walk the healthy region:
+		// they round the fault toward the destination or spread their TTL
+		// drops out instead of orbiting in lockstep and stalling the
+		// progress watchdog.
+		var cand [10]int
+		n := 0
+		if primaryOK {
+			cand[0], cand[1], cand[2] = p0, p0, p0
+			n = 3
+		}
+		alt := f
+		alt.yx = !f.yx
+		if p1 := route(idx, alt); p1 != p0 && p1 != local && linkOK(idx, p1) {
+			cand[n], cand[n+1], cand[n+2] = p1, p1, p1
+			n += 3
+		}
+		for pp := 0; pp < 4; pp++ {
+			if portOnMesh(idx, pp) && linkOK(idx, pp) {
+				cand[n] = pp
+				n++
+			}
+		}
+		if n == 0 {
+			return 0, true, true
+		}
+		h := uint32(f.dst)*2654435761 ^ uint32(idx)*2246822519 ^ uint32(f.hops)*0x9e3779b9
+		h ^= h >> 13
+		h *= 0x5bd1e995
+		h ^= h >> 15
+		return cand[h%uint32(n)], false, !primaryOK
+	}
 	// orientation decides a flit's dimension order at injection time.
 	orientation := func(src, dst int32) bool {
 		switch cfg.Routing {
@@ -240,27 +497,30 @@ func Simulate(p *pcn.PCN, pl *place.Placement, cfg Config) (Result, error) {
 		}
 		return false
 	}
-	neighbor := func(idx, port int) int {
-		switch geom.Dir(port) {
-		case geom.Up:
-			return idx - mesh.Cols
-		case geom.Down:
-			return idx + mesh.Cols
-		case geom.Right:
-			return idx + 1
-		case geom.Left:
-			return idx - 1
-		}
-		return idx
-	}
 
 	var latencySum int64
 	inFlight := int64(0)
 	pendingTrains := len(trains)
+	var injections int64
+	// Progress watchdog state: progress means an injection, delivery or
+	// drop — wire movement alone does not count, so a spike orbiting an
+	// unreachable destination forever is detected, not just a full stop.
+	lastProgress := int64(-1)
+	lastProgressCycle := 0
 
 	for cycle := 0; ; cycle++ {
 		if cycle > cfg.MaxCycles {
-			return Result{}, fmt.Errorf("noc: exceeded MaxCycles=%d with %d spikes in flight", cfg.MaxCycles, inFlight)
+			return res, fmt.Errorf("noc: exceeded MaxCycles=%d with %d spikes in flight: %w", cfg.MaxCycles, inFlight, ErrLivelock)
+		}
+		if cycle&2047 == 0 && ctx.Err() != nil {
+			return res, fmt.Errorf("noc: %v after %d cycles: %w", ctx.Err(), cycle, ErrCanceled)
+		}
+		if progress := injections + res.Delivered + res.Dropped; progress != lastProgress {
+			lastProgress = progress
+			lastProgressCycle = cycle
+		} else if cycle-lastProgressCycle > cfg.WatchdogCycles {
+			return res, fmt.Errorf("noc: no forward progress for %d cycles with %d spikes in flight (delivered %d, dropped %d): %w",
+				cfg.WatchdogCycles, inFlight, res.Delivered, res.Dropped, ErrLivelock)
 		}
 		// Inject due spikes (the source router services them like any
 		// other traffic by entering its queues directly). A full source
@@ -272,7 +532,18 @@ func Simulate(p *pcn.PCN, pl *place.Placement, cfg Config) (Result, error) {
 					continue
 				}
 				f := flit{dst: t.dst, injected: int32(cycle), yx: orientation(t.src, t.dst)}
-				port := route(int(t.src), f)
+				port, drop, blocked := routePort(int(t.src), f)
+				if blocked && !drop {
+					f.detour = uint8(detourHops)
+				}
+				if drop {
+					t.count--
+					if t.count == 0 {
+						pendingTrains--
+					}
+					res.Dropped++
+					continue
+				}
 				q := &queues[int(t.src)*5+port]
 				if cfg.QueueCap > 0 && q.len() >= cfg.QueueCap {
 					res.InjectionStalls++
@@ -288,6 +559,7 @@ func Simulate(p *pcn.PCN, pl *place.Placement, cfg Config) (Result, error) {
 				}
 				res.RouterTraversals[t.src]++
 				inFlight++
+				injections++
 			}
 		}
 		if inFlight == 0 && pendingTrains == 0 {
@@ -328,13 +600,39 @@ func Simulate(p *pcn.PCN, pl *place.Placement, cfg Config) (Result, error) {
 		for _, m := range candidates {
 			src := &queues[m.src]
 			f := src.peek()
-			port := route(m.to, f)
+			if defects != nil && (f.hops >= maxHops || cycle-int(f.injected) > cfg.WatchdogCycles) {
+				// Detour budget exhausted, or the spike has been in flight
+				// longer than the watchdog window (stuck in a traffic jam
+				// against a fault boundary, where deep queues make the hop
+				// TTL glacial): the destination is effectively unreachable;
+				// abandon the spike at this router. The age cap guarantees
+				// faulty-mesh runs terminate whenever queues keep being
+				// serviced; the watchdog covers the remaining case of a full
+				// service stall (true deadlock).
+				src.pop()
+				res.Dropped++
+				inFlight--
+				continue
+			}
+			port, drop, blocked := routePort(m.to, f)
+			if drop {
+				src.pop()
+				res.Dropped++
+				inFlight--
+				continue
+			}
 			q := &queues[m.to*5+port]
 			if cfg.QueueCap > 0 && q.len() >= cfg.QueueCap {
 				res.Stalls++
 				continue
 			}
 			src.pop()
+			if blocked {
+				f.detour = uint8(detourHops)
+			} else if f.detour > 0 {
+				f.detour--
+			}
+			f.hops++
 			res.WireTraversals++
 			q.push(f)
 			if q.len() > res.MaxQueueLen {

@@ -1,0 +1,18 @@
+package place
+
+import "errors"
+
+// Sentinel errors shared by the placement pipeline. They live here because
+// place sits at the bottom of the mapping/noc import graph; internal/mapping
+// and internal/noc re-export the ones they raise so callers can errors.Is
+// against either package.
+var (
+	// ErrCapacityExceeded reports that a mesh — or a core, under degraded
+	// capacity — cannot hold the requested clusters.
+	ErrCapacityExceeded = errors.New("capacity exceeded")
+	// ErrUnplaceable reports that no legal placement exists on the healthy
+	// portion of the mesh.
+	ErrUnplaceable = errors.New("unplaceable")
+	// ErrCanceled reports that the caller's context canceled the operation.
+	ErrCanceled = errors.New("canceled")
+)

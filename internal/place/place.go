@@ -24,10 +24,11 @@ type Placement struct {
 }
 
 // New returns an empty placement for numClusters clusters on the mesh.
-// It returns an error if the mesh cannot hold all clusters.
+// It returns an error wrapping ErrCapacityExceeded if the mesh cannot hold
+// all clusters.
 func New(numClusters int, mesh hw.Mesh) (*Placement, error) {
 	if numClusters > mesh.Cores() {
-		return nil, fmt.Errorf("place: %d clusters exceed %v mesh capacity %d", numClusters, mesh, mesh.Cores())
+		return nil, fmt.Errorf("place: %d clusters exceed %v mesh capacity %d: %w", numClusters, mesh, mesh.Cores(), ErrCapacityExceeded)
 	}
 	p := &Placement{
 		Mesh:      mesh,
@@ -47,16 +48,41 @@ func New(numClusters int, mesh hw.Mesh) (*Placement, error) {
 func (p *Placement) NumClusters() int { return len(p.PosOf) }
 
 // Assign places cluster c on the core with flattened index idx. It panics
-// if either side is already taken (placements are injective).
+// if either side is already taken (placements are injective). It is the
+// internal-invariant variant: code on the public Map path uses TryAssign and
+// propagates the error instead.
 func (p *Placement) Assign(c int, idx int32) {
+	if err := p.TryAssign(c, idx); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryAssign places cluster c on the core with flattened index idx, returning
+// an error (placements are injective) if either side is already taken.
+func (p *Placement) TryAssign(c int, idx int32) error {
 	if p.PosOf[c] != None {
-		panic(fmt.Sprintf("place: cluster %d already placed at %d", c, p.PosOf[c]))
+		return fmt.Errorf("place: cluster %d already placed at %d: %w", c, p.PosOf[c], ErrUnplaceable)
 	}
 	if p.ClusterAt[idx] != None {
-		panic(fmt.Sprintf("place: core %d already holds cluster %d", idx, p.ClusterAt[idx]))
+		return fmt.Errorf("place: core %d already holds cluster %d: %w", idx, p.ClusterAt[idx], ErrUnplaceable)
 	}
 	p.PosOf[c] = idx
 	p.ClusterAt[idx] = int32(c)
+	return nil
+}
+
+// Move relocates cluster c to the empty core idx, freeing its current core.
+// It is the primitive behind incremental remapping after core failures.
+func (p *Placement) Move(c int, idx int32) error {
+	if p.ClusterAt[idx] != None {
+		return fmt.Errorf("place: core %d already holds cluster %d: %w", idx, p.ClusterAt[idx], ErrUnplaceable)
+	}
+	if old := p.PosOf[c]; old != None {
+		p.ClusterAt[old] = None
+	}
+	p.PosOf[c] = idx
+	p.ClusterAt[idx] = int32(c)
+	return nil
 }
 
 // Of returns the mesh coordinate of cluster c.
@@ -126,6 +152,20 @@ func (p *Placement) Validate() error {
 	}
 	if placed != len(p.PosOf) {
 		return fmt.Errorf("place: %d cores occupied, want %d", placed, len(p.PosOf))
+	}
+	return nil
+}
+
+// ValidateDefects checks that no cluster sits on a dead core of the defect
+// map. A nil map always validates.
+func (p *Placement) ValidateDefects(d *hw.DefectMap) error {
+	if d == nil {
+		return nil
+	}
+	for c, idx := range p.PosOf {
+		if idx != None && d.IsDead(int(idx)) {
+			return fmt.Errorf("place: cluster %d sits on dead core %d: %w", c, idx, ErrUnplaceable)
+		}
 	}
 	return nil
 }

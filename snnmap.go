@@ -24,6 +24,7 @@
 package snnmap
 
 import (
+	"context"
 	"io"
 
 	"snnmap/internal/baseline"
@@ -160,14 +161,33 @@ func DefaultConfig() Config { return mapping.Default() }
 // Map runs a mapping pipeline on a PCN.
 func Map(p *PCN, mesh Mesh, cfg Config) (MapResult, error) { return mapping.Map(p, mesh, cfg) }
 
+// MapContext is Map with cooperative cancellation: the pipeline checks ctx
+// between (and periodically within) its phases and returns the partial
+// result with an error wrapping ErrCanceled once the context is done.
+func MapContext(ctx context.Context, p *PCN, mesh Mesh, cfg Config) (MapResult, error) {
+	return mapping.MapContext(ctx, p, mesh, cfg)
+}
+
 // InitialPlacement computes P_init = Hilbert ∘ Seq (Eq. 17) for any curve.
 func InitialPlacement(p *PCN, mesh Mesh, c Curve) (*Placement, error) {
 	return mapping.InitialPlacement(p, mesh, c)
 }
 
+// InitialPlacementDefects is InitialPlacement on a defective mesh: the curve
+// walk skips dead cells, and capacity-degraded cells that the next cluster
+// does not fit.
+func InitialPlacementDefects(p *PCN, mesh Mesh, c Curve, d *DefectMap, cons Constraints) (*Placement, error) {
+	return mapping.InitialPlacementDefects(p, mesh, c, d, cons)
+}
+
 // Finetune runs the Force-Directed algorithm on an existing placement.
 func Finetune(p *PCN, pl *Placement, cfg FDConfig) (FDStats, error) {
 	return mapping.Finetune(p, pl, cfg)
+}
+
+// FinetuneContext is Finetune with cooperative cancellation.
+func FinetuneContext(ctx context.Context, p *PCN, pl *Placement, cfg FDConfig) (FDStats, error) {
+	return mapping.FinetuneContext(ctx, p, pl, cfg)
 }
 
 // MeshFor returns the smallest square mesh holding n clusters (the paper's
@@ -252,6 +272,86 @@ const (
 // placement.
 func Simulate(p *PCN, pl *Placement, cfg SimConfig) (SimResult, error) {
 	return noc.Simulate(p, pl, cfg)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: the cycle loop
+// checks ctx periodically and returns the partial result with an error
+// wrapping ErrCanceled once the context is done.
+func SimulateContext(ctx context.Context, p *PCN, pl *Placement, cfg SimConfig) (SimResult, error) {
+	return noc.SimulateContext(ctx, p, pl, cfg)
+}
+
+// Fault tolerance (hardware defect maps and graceful degradation).
+type (
+	// DefectMap marks dead cores, capacity-degraded cores and failed links
+	// of a mesh.
+	DefectMap = hw.DefectMap
+	// RemapStats reports an incremental post-failure repair.
+	RemapStats = mapping.RemapStats
+	// Degradation summarizes how gracefully a placement degrades on a
+	// defective mesh.
+	Degradation = metrics.Degradation
+)
+
+// Typed sentinel errors shared across the pipeline; test with errors.Is.
+var (
+	// ErrCapacityExceeded reports a cluster that does not fit a core.
+	ErrCapacityExceeded = place.ErrCapacityExceeded
+	// ErrUnplaceable reports a workload that cannot be placed on the
+	// (possibly defective) mesh.
+	ErrUnplaceable = place.ErrUnplaceable
+	// ErrCanceled reports a pipeline run stopped by its context.
+	ErrCanceled = place.ErrCanceled
+	// ErrLivelock reports a NoC simulation that stopped making progress.
+	ErrLivelock = noc.ErrLivelock
+	// ErrBadConfig reports an invalid NoC simulator configuration.
+	ErrBadConfig = noc.ErrBadConfig
+)
+
+// NewDefectMap returns an all-healthy defect map for the mesh.
+func NewDefectMap(mesh Mesh) *DefectMap { return hw.NewDefectMap(mesh) }
+
+// InjectUniform marks a uniformly random fraction of cores dead and of links
+// failed, deterministically from the seed.
+func InjectUniform(mesh Mesh, deadFrac, linkFrac float64, seed int64) *DefectMap {
+	return hw.InjectUniform(mesh, deadFrac, linkFrac, seed)
+}
+
+// InjectClustered marks a dead fraction grown as contiguous blobs — the
+// spatially-correlated defect pattern of fabrication faults.
+func InjectClustered(mesh Mesh, deadFrac float64, blobs int, seed int64) *DefectMap {
+	return hw.InjectClustered(mesh, deadFrac, blobs, seed)
+}
+
+// InjectLines kills whole rows and columns — the failure pattern of shared
+// power or clock spines.
+func InjectLines(mesh Mesh, rows, cols int, seed int64) *DefectMap {
+	return hw.InjectLines(mesh, rows, cols, seed)
+}
+
+// ParseDefectSpec builds a defect map from a compact spec string such as
+// "uniform:dead=0.05,links=0.02,seed=7" (see internal/hw for the grammar).
+func ParseDefectSpec(mesh Mesh, spec string) (*DefectMap, error) {
+	return hw.ParseDefectSpec(mesh, spec)
+}
+
+// SaveDefectMap writes a defect map as JSON.
+func SaveDefectMap(w io.Writer, d *DefectMap) error { return hw.WriteDefectMap(w, d) }
+
+// LoadDefectMap reads a defect map written by SaveDefectMap.
+func LoadDefectMap(r io.Reader) (*DefectMap, error) { return hw.ReadDefectMap(r) }
+
+// Remap repairs an existing placement after the defect map changed: only
+// clusters on dead (or overfull degraded) cores migrate, each to the nearest
+// healthy free core that fits.
+func Remap(p *PCN, pl *Placement, d *DefectMap, cons Constraints, cost CostModel) (RemapStats, error) {
+	return mapping.Remap(p, pl, d, cons, cost)
+}
+
+// EvaluateDegradation computes the structural degradation metrics of a
+// placement on a defective mesh.
+func EvaluateDegradation(p *PCN, pl *Placement, d *DefectMap) Degradation {
+	return metrics.EvaluateDegradation(p, pl, d)
 }
 
 // Model zoo: the paper's Table 3 workloads.

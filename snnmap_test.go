@@ -1,6 +1,9 @@
 package snnmap_test
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -190,5 +193,108 @@ func TestRecurrentWorkloadEndToEnd(t *testing.T) {
 	base := snnmap.Evaluate(p, rnd, snnmap.DefaultCostModel(), snnmap.MetricOptions{})
 	if sum.Energy > base.Energy {
 		t.Errorf("recurrent mapping worse than random: %g vs %g", sum.Energy, base.Energy)
+	}
+}
+
+// TestFaultToleranceThroughPublicAPI walks the README's fault-tolerance
+// section end to end: map around dead cores, simulate with fault-aware
+// routing on the matching faulty NoC, repair after an in-field failure,
+// round-trip the defect map, and cancel promptly.
+func TestFaultToleranceThroughPublicAPI(t *testing.T) {
+	p, err := snnmap.Expand(snnmap.LeNetMNIST(), snnmap.DefaultPartition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := snnmap.NewMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := snnmap.NewDefectMap(mesh)
+	d.MarkDead(5)
+	d.MarkDead(10)
+	if err := d.FailLink(2, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := snnmap.DefaultConfig()
+	cfg.Defects = d
+	res, err := snnmap.Map(p, mesh, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := res.Placement
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.ValidateDefects(d); err != nil {
+		t.Fatal(err)
+	}
+
+	sim, err := snnmap.Simulate(p, pl, snnmap.SimConfig{
+		SpikesPerUnit: 1e-3, Defects: d, FaultAware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Injected != sim.Delivered+sim.Dropped {
+		t.Fatalf("accounting broken: injected=%d delivered=%d dropped=%d", sim.Injected, sim.Delivered, sim.Dropped)
+	}
+	if sim.DeliveredFraction() < 0.99 {
+		t.Errorf("delivered fraction %.4f < 0.99", sim.DeliveredFraction())
+	}
+
+	// One more core fails in the field; the repair moves exactly one cluster.
+	d2 := d.Clone()
+	d2.MarkDead(int(pl.PosOf[0]))
+	st, err := snnmap.Remap(p, pl, d2, snnmap.Constraints{}, snnmap.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Moved != 1 {
+		t.Fatalf("remap moved %d clusters, want 1", st.Moved)
+	}
+	if err := pl.ValidateDefects(d2); err != nil {
+		t.Fatal(err)
+	}
+	g := snnmap.EvaluateDegradation(p, pl, d2)
+	if g.DeadCores != 3 || g.HealthyCores != 13 {
+		t.Errorf("degradation summary wrong: %+v", g)
+	}
+
+	// The defect map round-trips through its JSON form.
+	var buf bytes.Buffer
+	if err := snnmap.SaveDefectMap(&buf, d2); err != nil {
+		t.Fatal(err)
+	}
+	back, err := snnmap.LoadDefectMap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumDead() != 3 || back.NumFailedLinks() != 1 {
+		t.Errorf("round-trip lost defects: %d dead, %d links", back.NumDead(), back.NumFailedLinks())
+	}
+}
+
+func TestCancellationThroughPublicAPI(t *testing.T) {
+	p, err := snnmap.Expand(snnmap.LeNetMNIST(), snnmap.DefaultPartition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := snnmap.MeshFor(p.NumClusters)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := snnmap.MapContext(ctx, p, mesh, snnmap.DefaultConfig()); !errors.Is(err, snnmap.ErrCanceled) {
+		t.Fatalf("MapContext: got %v, want ErrCanceled", err)
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("cancellation took %v, want < 100ms", el)
+	}
+	res, err := snnmap.Map(p, mesh, snnmap.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snnmap.SimulateContext(ctx, p, res.Placement, snnmap.SimConfig{SpikesPerUnit: 1e-3}); !errors.Is(err, snnmap.ErrCanceled) {
+		t.Fatalf("SimulateContext: got %v, want ErrCanceled", err)
 	}
 }
