@@ -1,0 +1,51 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"snnmap/internal/hw"
+	"snnmap/internal/pcn"
+	"snnmap/internal/place"
+	"snnmap/internal/snn"
+)
+
+// longTailWorkload builds the compaction stress case: ~2000 single-spike
+// trains that exhaust on the first few injection waves, plus one heavy edge
+// that keeps injecting for thousands of cycles afterwards. Without train
+// compaction every one of those waves re-scans the full train list.
+func longTailWorkload(b *testing.B) (*pcn.PCN, *place.Placement) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(5))
+	const clusters = 400
+	var gb snn.GraphBuilder
+	gb.AddNeurons(clusters, -1)
+	for e := 0; e < 2000; e++ {
+		u, v := rng.Intn(clusters), rng.Intn(clusters)
+		if u != v {
+			gb.AddSynapse(u, v, 1)
+		}
+	}
+	gb.AddSynapse(0, clusters-1, 3000) // the long tail
+	res, err := pcn.Partition(gb.Build(), pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := place.Random(res.PCN.NumClusters, hw.MustMesh(20, 20), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.PCN, pl
+}
+
+func BenchmarkSimulateLongTail(b *testing.B) {
+	p, pl := longTailWorkload(b)
+	cfg := Config{InjectionInterval: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(p, pl, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

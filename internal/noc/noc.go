@@ -500,7 +500,6 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 
 	var latencySum int64
 	inFlight := int64(0)
-	pendingTrains := len(trains)
 	var injections int64
 	// Progress watchdog state: progress means an injection, delivery or
 	// drop — wire movement alone does not count, so a spike orbiting an
@@ -524,13 +523,15 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 		}
 		// Inject due spikes (the source router services them like any
 		// other traffic by entering its queues directly). A full source
-		// queue defers the injection to the next cycle.
-		if pendingTrains > 0 && cycle%cfg.InjectionInterval == 0 {
+		// queue defers the injection to the next cycle. Trains whose spike
+		// budget is exhausted are compacted out in the same pass —
+		// order-preserving, so queue push order (and with it FIFO service
+		// order) is unchanged — keeping long simulation tails from paying
+		// O(total trains) per injection cycle.
+		if len(trains) > 0 && cycle%cfg.InjectionInterval == 0 {
+			w := 0
 			for ti := range trains {
-				t := &trains[ti]
-				if t.count == 0 {
-					continue
-				}
+				t := trains[ti]
 				f := flit{dst: t.dst, injected: int32(cycle), yx: orientation(t.src, t.dst)}
 				port, drop, blocked := routePort(int(t.src), f)
 				if blocked && !drop {
@@ -538,21 +539,21 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 				}
 				if drop {
 					t.count--
-					if t.count == 0 {
-						pendingTrains--
-					}
 					res.Dropped++
+					if t.count > 0 {
+						trains[w] = t
+						w++
+					}
 					continue
 				}
 				q := &queues[int(t.src)*5+port]
 				if cfg.QueueCap > 0 && q.len() >= cfg.QueueCap {
 					res.InjectionStalls++
+					trains[w] = t
+					w++
 					continue
 				}
 				t.count--
-				if t.count == 0 {
-					pendingTrains--
-				}
 				q.push(f)
 				if q.len() > res.MaxQueueLen {
 					res.MaxQueueLen = q.len()
@@ -560,9 +561,14 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 				res.RouterTraversals[t.src]++
 				inFlight++
 				injections++
+				if t.count > 0 {
+					trains[w] = t
+					w++
+				}
 			}
+			trains = trains[:w]
 		}
-		if inFlight == 0 && pendingTrains == 0 {
+		if inFlight == 0 && len(trains) == 0 {
 			res.Cycles = cycle
 			break
 		}
