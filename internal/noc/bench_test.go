@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -41,11 +42,81 @@ func longTailWorkload(b *testing.B) (*pcn.PCN, *place.Placement) {
 func BenchmarkSimulateLongTail(b *testing.B) {
 	p, pl := longTailWorkload(b)
 	cfg := Config{InjectionInterval: 4}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Simulate(p, pl, cfg); err != nil {
-			b.Fatal(err)
+	for _, bench := range []struct {
+		name string
+		run  func() (Result, error)
+	}{
+		{"event", func() (Result, error) { return Simulate(p, pl, cfg) }},
+		{"reference", func() (Result, error) { return SimulateReference(context.Background(), p, pl, cfg) }},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulateSparse64x64 is the tentpole's headline workload: a
+// 64×64 mesh where only 64 source cores inject, in waves spaced far
+// enough apart that the network fully drains between them. The reference
+// driver scans all 4096·5 queues every cycle, including the idle gaps;
+// the event engine visits only occupied routers and fast-forwards the
+// gaps entirely.
+func BenchmarkSimulateSparse64x64(b *testing.B) {
+	p, pl := sparse64x64Workload(b)
+	cfg := Config{InjectionInterval: 24}
+	for _, bench := range []struct {
+		name string
+		run  func() (Result, error)
+	}{
+		{"event", func() (Result, error) { return Simulate(p, pl, cfg) }},
+		{"reference", func() (Result, error) { return SimulateReference(context.Background(), p, pl, cfg) }},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// sparse64x64Workload: 4096 clusters placed identically onto a 64×64 mesh,
+// with 64 sources (every 8th row/column) each feeding four neighbors eight
+// cores away, 48 spikes per edge.
+func sparse64x64Workload(b *testing.B) (*pcn.PCN, *place.Placement) {
+	b.Helper()
+	const side = 64
+	mesh := hw.MustMesh(side, side)
+	var gb snn.GraphBuilder
+	gb.AddNeurons(side*side, -1)
+	for r := 4; r < side; r += 8 {
+		for c := 4; c < side; c += 8 {
+			src := r*side + c
+			for _, d := range [][2]int{{-8, 0}, {8, 0}, {0, -8}, {0, 8}} {
+				nr, nc := r+d[0], c+d[1]
+				if nr >= 0 && nr < side && nc >= 0 && nc < side {
+					gb.AddSynapse(src, nr*side+nc, 48)
+				}
+			}
 		}
 	}
+	res, err := pcn.Partition(gb.Build(), pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := place.New(res.PCN.NumClusters, mesh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c := 0; c < res.PCN.NumClusters; c++ {
+		pl.Assign(c, int32(c))
+	}
+	return res.PCN, pl
 }

@@ -17,12 +17,22 @@
 // faulty mesh account undeliverable spikes instead of failing, and a
 // progress watchdog converts a livelocked or deadlocked simulation into a
 // typed ErrLivelock instead of a hang.
+//
+// Two drivers share one substrate. Simulate/SimulateContext run the
+// event-driven engine: only routers with occupied queues are visited each
+// cycle, exhausted injection trains are compacted out of the schedule, and
+// fully idle stretches between injection waves are fast-forwarded.
+// SimulateReference runs the original per-cycle scan of every router; it is
+// kept as the equivalence oracle — both drivers produce bit-identical
+// Results — and as the baseline the tracked benchmarks measure speedups
+// against.
 package noc
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 
 	"snnmap/internal/geom"
 	"snnmap/internal/hw"
@@ -247,67 +257,66 @@ func (q *queue) pop() flit {
 	return f
 }
 
-// Simulate injects the PCN's traffic into the mesh under the placement and
-// runs until every spike is delivered or dropped (or a limit is hit,
-// returning an error).
-func Simulate(p *pcn.PCN, pl *place.Placement, cfg Config) (Result, error) {
-	return SimulateContext(context.Background(), p, pl, cfg)
+// train is one edge's injection schedule: count spikes from src to dst.
+type train struct {
+	src, dst int32
+	count    int32
 }
 
-// SimulateContext is Simulate with cooperative cancellation: the cycle loop
-// checks ctx periodically and returns the partial Result with an error
-// wrapping ErrCanceled when the context is done.
-func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg Config) (Result, error) {
+// local is the fifth output port of every router: delivery to the core.
+const local = 4
+
+// simState is the substrate shared by the event-driven engine
+// (SimulateContext) and the per-cycle reference scan (SimulateReference):
+// the injection schedule, the route computation and all accounting. Both
+// drivers mutate this state through the same primitives, which is what
+// keeps their Results bit-identical.
+type simState struct {
+	cfg        Config
+	mesh       hw.Mesh
+	cores      int
+	defects    *hw.DefectMap
+	maxHops    int32
+	detourHops int
+
+	trains []train
+	queues []queue // cores*5: 4 directions + local delivery per router
+	res    Result
+
+	latencySum int64
+	inFlight   int64
+	injections int64
+}
+
+// newSimState validates the configuration and builds the shared simulation
+// state: connected components of the (possibly faulty) mesh, the injection
+// schedule, and the empty router queues.
+func newSimState(p *pcn.PCN, pl *place.Placement, cfg Config) (*simState, error) {
 	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	if err := ctx.Err(); err != nil {
-		return Result{}, fmt.Errorf("noc: %v: %w", err, ErrCanceled)
-	}
 	mesh := pl.Mesh
-	cores := mesh.Cores()
-	defects := cfg.Defects
-	maxHops := int32(cfg.MaxDetourHops)
-	if maxHops == 0 {
-		maxHops = int32(4 * (mesh.Rows + mesh.Cols))
+	s := &simState{
+		cfg:     cfg,
+		mesh:    mesh,
+		cores:   mesh.Cores(),
+		defects: cfg.Defects,
+		maxHops: int32(cfg.MaxDetourHops),
 	}
-
-	// portOnMesh reports whether router idx has a neighbor on port.
-	portOnMesh := func(idx, port int) bool {
-		r, c := idx/mesh.Cols, idx%mesh.Cols
-		switch geom.Dir(port) {
-		case geom.Up:
-			return r > 0
-		case geom.Down:
-			return r < mesh.Rows-1
-		case geom.Right:
-			return c < mesh.Cols-1
-		case geom.Left:
-			return c > 0
-		}
-		return false
+	if s.maxHops == 0 {
+		s.maxHops = int32(4 * (mesh.Rows + mesh.Cols))
 	}
-	neighbor := func(idx, port int) int {
-		switch geom.Dir(port) {
-		case geom.Up:
-			return idx - mesh.Cols
-		case geom.Down:
-			return idx + mesh.Cols
-		case geom.Right:
-			return idx + 1
-		case geom.Left:
-			return idx - 1
-		}
-		return idx
+	// detourHops is how long a flit stays in sticky detour mode after
+	// hitting a blocked port — long enough to walk around a dead blob's
+	// boundary instead of being shoved straight back against it by greedy
+	// productive routing at the first healthy router.
+	s.detourHops = (mesh.Rows + mesh.Cols) / 2
+	if s.detourHops < 8 {
+		s.detourHops = 8
 	}
-	// linkOK reports whether the link leaving idx on port is usable: not
-	// failed, and not leading into a dead router.
-	linkOK := func(idx, port int) bool {
-		if defects.LinkDownDir(idx, geom.Dir(port)) {
-			return false
-		}
-		return !defects.IsDead(neighbor(idx, port))
+	if s.detourHops > 64 {
+		s.detourHops = 64
 	}
 
 	// comp labels alive routers with their connected component over usable
@@ -316,27 +325,27 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 	// so it is dropped at injection instead of orbiting in the network until
 	// its detour budget runs out.
 	var comp []int32
-	if defects != nil && (defects.NumDead() > 0 || defects.NumFailedLinks() > 0) {
-		comp = make([]int32, cores)
+	if s.defects != nil && (s.defects.NumDead() > 0 || s.defects.NumFailedLinks() > 0) {
+		comp = make([]int32, s.cores)
 		for i := range comp {
 			comp[i] = -1
 		}
 		var stack []int32
 		next := int32(0)
-		for s := 0; s < cores; s++ {
-			if comp[s] >= 0 || defects.IsDead(s) {
+		for c := 0; c < s.cores; c++ {
+			if comp[c] >= 0 || s.defects.IsDead(c) {
 				continue
 			}
-			comp[s] = next
-			stack = append(stack[:0], int32(s))
+			comp[c] = next
+			stack = append(stack[:0], int32(c))
 			for len(stack) > 0 {
 				idx := int(stack[len(stack)-1])
 				stack = stack[:len(stack)-1]
 				for port := 0; port < 4; port++ {
-					if !portOnMesh(idx, port) || !linkOK(idx, port) {
+					if !s.portOnMesh(idx, port) || !s.linkOK(idx, port) {
 						continue
 					}
-					if nb := neighbor(idx, port); comp[nb] < 0 {
+					if nb := s.neighbor(idx, port); comp[nb] < 0 {
 						comp[nb] = next
 						stack = append(stack, int32(nb))
 					}
@@ -350,13 +359,6 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 	// endpoints sit on dead cores — or in mesh regions disconnected from
 	// each other — can never be serviced; they count as injected-and-dropped
 	// without entering the network.
-	type train struct {
-		src, dst int32
-		count    int32
-		next     int32 // next injection cycle
-	}
-	var trains []train
-	var res Result
 	for c := 0; c < p.NumClusters; c++ {
 		src := pl.PosOf[c]
 		tos, ws := p.OutEdges(c)
@@ -365,142 +367,252 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 			if n < 1 {
 				n = 1
 			}
-			if res.Injected+n > cfg.MaxSpikes {
-				return Result{}, fmt.Errorf("noc: workload needs more than MaxSpikes=%d spikes; lower SpikesPerUnit", cfg.MaxSpikes)
+			if s.res.Injected+n > cfg.MaxSpikes {
+				return nil, fmt.Errorf("noc: workload needs more than MaxSpikes=%d spikes; lower SpikesPerUnit", cfg.MaxSpikes)
 			}
-			res.Injected += n
+			s.res.Injected += n
 			dst := pl.PosOf[to]
-			if defects.IsDead(int(src)) || defects.IsDead(int(dst)) ||
+			if s.defects.IsDead(int(src)) || s.defects.IsDead(int(dst)) ||
 				(comp != nil && comp[src] != comp[dst]) {
-				res.Dropped += n
+				s.res.Dropped += n
 				continue
 			}
-			trains = append(trains, train{src: src, dst: dst, count: int32(n)})
+			s.trains = append(s.trains, train{src: src, dst: dst, count: int32(n)})
 		}
 	}
 
-	// Five output queues per router: 4 directions + local delivery.
-	const local = 4
-	queues := make([]queue, cores*5)
-	res.RouterTraversals = make([]int64, cores)
+	s.queues = make([]queue, s.cores*5)
+	s.res.RouterTraversals = make([]int64, s.cores)
+	return s, nil
+}
 
-	// route decides the output port at router idx for the flit under its
-	// dimension order: column-first (XY) or row-first (YX).
-	route := func(idx int, f flit) int {
-		r, c := idx/mesh.Cols, idx%mesh.Cols
-		dr, dc := int(f.dst)/mesh.Cols, int(f.dst)%mesh.Cols
-		if f.yx {
-			switch {
-			case dr > r:
-				return int(geom.Down)
-			case dr < r:
-				return int(geom.Up)
-			case dc > c:
-				return int(geom.Right)
-			case dc < c:
-				return int(geom.Left)
-			}
-			return local
-		}
+// portOnMesh reports whether router idx has a neighbor on port.
+func (s *simState) portOnMesh(idx, port int) bool {
+	r, c := idx/s.mesh.Cols, idx%s.mesh.Cols
+	switch geom.Dir(port) {
+	case geom.Up:
+		return r > 0
+	case geom.Down:
+		return r < s.mesh.Rows-1
+	case geom.Right:
+		return c < s.mesh.Cols-1
+	case geom.Left:
+		return c > 0
+	}
+	return false
+}
+
+func (s *simState) neighbor(idx, port int) int {
+	switch geom.Dir(port) {
+	case geom.Up:
+		return idx - s.mesh.Cols
+	case geom.Down:
+		return idx + s.mesh.Cols
+	case geom.Right:
+		return idx + 1
+	case geom.Left:
+		return idx - 1
+	}
+	return idx
+}
+
+// linkOK reports whether the link leaving idx on port is usable: not
+// failed, and not leading into a dead router.
+func (s *simState) linkOK(idx, port int) bool {
+	if s.defects.LinkDownDir(idx, geom.Dir(port)) {
+		return false
+	}
+	return !s.defects.IsDead(s.neighbor(idx, port))
+}
+
+// route decides the output port at router idx for the flit under its
+// dimension order: column-first (XY) or row-first (YX).
+func (s *simState) route(idx int, f flit) int {
+	r, c := idx/s.mesh.Cols, idx%s.mesh.Cols
+	dr, dc := int(f.dst)/s.mesh.Cols, int(f.dst)%s.mesh.Cols
+	if f.yx {
 		switch {
-		case dc > c:
-			return int(geom.Right)
-		case dc < c:
-			return int(geom.Left)
 		case dr > r:
 			return int(geom.Down)
 		case dr < r:
 			return int(geom.Up)
+		case dc > c:
+			return int(geom.Right)
+		case dc < c:
+			return int(geom.Left)
 		}
 		return local
 	}
-	// detourHops is how long a flit stays in sticky detour mode after
-	// hitting a blocked port — long enough to walk around a dead blob's
-	// boundary instead of being shoved straight back against it by greedy
-	// productive routing at the first healthy router.
-	detourHops := (mesh.Rows + mesh.Cols) / 2
-	if detourHops < 8 {
-		detourHops = 8
+	switch {
+	case dc > c:
+		return int(geom.Right)
+	case dc < c:
+		return int(geom.Left)
+	case dr > r:
+		return int(geom.Down)
+	case dr < r:
+		return int(geom.Up)
 	}
-	if detourHops > 64 {
-		detourHops = 64
+	return local
+}
+
+// routePort is the fault-aware route computation at router idx. The
+// second return is true when the flit must be dropped (its
+// dimension-ordered next hop is failed and fault-aware routing is off,
+// or no usable port exists); the third is true when the flit hit a
+// blocked port and must (re-)enter sticky detour mode.
+func (s *simState) routePort(idx int, f flit) (int, bool, bool) {
+	p0 := s.route(idx, f)
+	primaryOK := s.defects == nil || p0 == local || s.linkOK(idx, p0)
+	if primaryOK && (f.detour == 0 || p0 == local) {
+		return p0, false, false
 	}
-	// routePort is the fault-aware route computation at router idx. The
-	// second return is true when the flit must be dropped (its
-	// dimension-ordered next hop is failed and fault-aware routing is off,
-	// or no usable port exists); the third is true when the flit hit a
-	// blocked port and must (re-)enter sticky detour mode.
-	routePort := func(idx int, f flit) (int, bool, bool) {
-		p0 := route(idx, f)
-		primaryOK := defects == nil || p0 == local || linkOK(idx, p0)
-		if primaryOK && (f.detour == 0 || p0 == local) {
-			return p0, false, false
+	if !primaryOK && !s.cfg.FaultAware {
+		return 0, true, true
+	}
+	// Detour walk: a weighted hash pick among every usable port, keyed
+	// by (destination, router, hop count). Productive ports — the
+	// primary when merely in detour mode, and the other dimension
+	// order's choice — get extra weight, but are never mandatory: a
+	// deterministic preference turns dead-end pockets into infinite
+	// ping-pongs (productive into the pocket, forced back out of it),
+	// and reverting to greedy routing the moment a port is usable pins
+	// flits against the fault boundary forever. The hash is
+	// reproducible yet de-correlates flits from each other and from
+	// their own past, so blocked flits random-walk the healthy region:
+	// they round the fault toward the destination or spread their TTL
+	// drops out instead of orbiting in lockstep and stalling the
+	// progress watchdog.
+	var cand [10]int
+	n := 0
+	if primaryOK {
+		cand[0], cand[1], cand[2] = p0, p0, p0
+		n = 3
+	}
+	alt := f
+	alt.yx = !f.yx
+	if p1 := s.route(idx, alt); p1 != p0 && p1 != local && s.linkOK(idx, p1) {
+		cand[n], cand[n+1], cand[n+2] = p1, p1, p1
+		n += 3
+	}
+	for pp := 0; pp < 4; pp++ {
+		if s.portOnMesh(idx, pp) && s.linkOK(idx, pp) {
+			cand[n] = pp
+			n++
 		}
-		if !primaryOK && !cfg.FaultAware {
-			return 0, true, true
-		}
-		// Detour walk: a weighted hash pick among every usable port, keyed
-		// by (destination, router, hop count). Productive ports — the
-		// primary when merely in detour mode, and the other dimension
-		// order's choice — get extra weight, but are never mandatory: a
-		// deterministic preference turns dead-end pockets into infinite
-		// ping-pongs (productive into the pocket, forced back out of it),
-		// and reverting to greedy routing the moment a port is usable pins
-		// flits against the fault boundary forever. The hash is
-		// reproducible yet de-correlates flits from each other and from
-		// their own past, so blocked flits random-walk the healthy region:
-		// they round the fault toward the destination or spread their TTL
-		// drops out instead of orbiting in lockstep and stalling the
-		// progress watchdog.
-		var cand [10]int
-		n := 0
-		if primaryOK {
-			cand[0], cand[1], cand[2] = p0, p0, p0
-			n = 3
-		}
-		alt := f
-		alt.yx = !f.yx
-		if p1 := route(idx, alt); p1 != p0 && p1 != local && linkOK(idx, p1) {
-			cand[n], cand[n+1], cand[n+2] = p1, p1, p1
-			n += 3
-		}
-		for pp := 0; pp < 4; pp++ {
-			if portOnMesh(idx, pp) && linkOK(idx, pp) {
-				cand[n] = pp
-				n++
-			}
-		}
-		if n == 0 {
-			return 0, true, true
-		}
-		h := uint32(f.dst)*2654435761 ^ uint32(idx)*2246822519 ^ uint32(f.hops)*0x9e3779b9
+	}
+	if n == 0 {
+		return 0, true, true
+	}
+	h := uint32(f.dst)*2654435761 ^ uint32(idx)*2246822519 ^ uint32(f.hops)*0x9e3779b9
+	h ^= h >> 13
+	h *= 0x5bd1e995
+	h ^= h >> 15
+	return cand[h%uint32(n)], false, !primaryOK
+}
+
+// orientation decides a flit's dimension order at injection time.
+func (s *simState) orientation(src, dst int32) bool {
+	switch s.cfg.Routing {
+	case RouteYX:
+		return true
+	case RouteO1Turn:
+		// Deterministic per-pair hash balances the two orders. The
+		// low bit must mix all input bits (a plain multiply-xor
+		// degenerates to input parity), so finish with avalanche
+		// shifts.
+		h := uint32(src)*2654435761 ^ uint32(dst)*2246822519
 		h ^= h >> 13
 		h *= 0x5bd1e995
 		h ^= h >> 15
-		return cand[h%uint32(n)], false, !primaryOK
+		return h&1 == 1
 	}
-	// orientation decides a flit's dimension order at injection time.
-	orientation := func(src, dst int32) bool {
-		switch cfg.Routing {
-		case RouteYX:
-			return true
-		case RouteO1Turn:
-			// Deterministic per-pair hash balances the two orders. The
-			// low bit must mix all input bits (a plain multiply-xor
-			// degenerates to input parity), so finish with avalanche
-			// shifts.
-			h := uint32(src)*2654435761 ^ uint32(dst)*2246822519
-			h ^= h >> 13
-			h *= 0x5bd1e995
-			h ^= h >> 15
-			return h&1 == 1
+	return false
+}
+
+// deliver pops one flit off a local queue and accounts its delivery.
+func (s *simState) deliver(q *queue, cycle int) {
+	f := q.pop()
+	s.res.Delivered++
+	s.inFlight--
+	lat := int(int32(cycle) - f.injected + 1)
+	s.latencySum += int64(lat)
+	if lat > s.res.MaxLatencyCycles {
+		s.res.MaxLatencyCycles = lat
+	}
+}
+
+// finish converts the accumulated traversal counts into the energy and
+// latency summary fields.
+func (s *simState) finish() Result {
+	var totalRouter int64
+	for _, t := range s.res.RouterTraversals {
+		totalRouter += t
+	}
+	s.res.Energy = s.cfg.Cost.RouterEnergy*float64(totalRouter) + s.cfg.Cost.WireEnergy*float64(s.res.WireTraversals)
+	if s.res.Delivered > 0 {
+		s.res.AvgLatencyCycles = float64(s.latencySum) / float64(s.res.Delivered)
+		s.res.AvgHops = float64(s.res.WireTraversals) / float64(s.res.Delivered)
+	}
+	return s.res
+}
+
+// candidate is one queue head eligible to move this cycle.
+type candidate struct {
+	src int // source queue index in queues
+	to  int // destination router
+}
+
+// Simulate injects the PCN's traffic into the mesh under the placement and
+// runs until every spike is delivered or dropped (or a limit is hit,
+// returning an error). It runs the event-driven engine; SimulateReference
+// is the bit-identical full-scan oracle.
+func Simulate(p *pcn.PCN, pl *place.Placement, cfg Config) (Result, error) {
+	return SimulateContext(context.Background(), p, pl, cfg)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: the cycle loop
+// checks ctx periodically and returns the partial Result with an error
+// wrapping ErrCanceled when the context is done.
+func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("noc: %v: %w", err, ErrCanceled)
+	}
+	s, err := newSimState(p, pl, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg = s.cfg
+
+	// Active-router worklist: every router with at least one occupied
+	// queue. The service scan visits only these, in ascending router
+	// order — the same order the reference's full scan produces — so the
+	// candidate sequence, and with it every queue interaction, is
+	// identical to the reference simulator's.
+	inActive := make([]bool, s.cores)
+	var active []int32
+	markActive := func(idx int) {
+		if !inActive[idx] {
+			inActive[idx] = true
+			active = append(active, int32(idx))
+		}
+	}
+	hasFlits := func(idx int32) bool {
+		base := int(idx) * 5
+		for port := 0; port < 5; port++ {
+			if s.queues[base+port].len() > 0 {
+				return true
+			}
 		}
 		return false
 	}
+	// The candidate buffer is hoisted out of the cycle loop and reused —
+	// the reference allocates it afresh every cycle.
+	var candidates []candidate
 
-	var latencySum int64
-	inFlight := int64(0)
-	var injections int64
 	// Progress watchdog state: progress means an injection, delivery or
 	// drop — wire movement alone does not count, so a spike orbiting an
 	// unreachable destination forever is detected, not just a full stop.
@@ -509,104 +621,109 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 
 	for cycle := 0; ; cycle++ {
 		if cycle > cfg.MaxCycles {
-			return res, fmt.Errorf("noc: exceeded MaxCycles=%d with %d spikes in flight: %w", cfg.MaxCycles, inFlight, ErrLivelock)
+			return s.res, fmt.Errorf("noc: exceeded MaxCycles=%d with %d spikes in flight: %w", cfg.MaxCycles, s.inFlight, ErrLivelock)
 		}
 		if cycle&2047 == 0 && ctx.Err() != nil {
-			return res, fmt.Errorf("noc: %v after %d cycles: %w", ctx.Err(), cycle, ErrCanceled)
+			return s.res, fmt.Errorf("noc: %v after %d cycles: %w", ctx.Err(), cycle, ErrCanceled)
 		}
-		if progress := injections + res.Delivered + res.Dropped; progress != lastProgress {
+		if progress := s.injections + s.res.Delivered + s.res.Dropped; progress != lastProgress {
 			lastProgress = progress
 			lastProgressCycle = cycle
 		} else if cycle-lastProgressCycle > cfg.WatchdogCycles {
-			return res, fmt.Errorf("noc: no forward progress for %d cycles with %d spikes in flight (delivered %d, dropped %d): %w",
-				cfg.WatchdogCycles, inFlight, res.Delivered, res.Dropped, ErrLivelock)
+			return s.res, fmt.Errorf("noc: no forward progress for %d cycles with %d spikes in flight (delivered %d, dropped %d): %w",
+				cfg.WatchdogCycles, s.inFlight, s.res.Delivered, s.res.Dropped, ErrLivelock)
 		}
 		// Inject due spikes (the source router services them like any
 		// other traffic by entering its queues directly). A full source
-		// queue defers the injection to the next cycle. Trains whose spike
-		// budget is exhausted are compacted out in the same pass —
-		// order-preserving, so queue push order (and with it FIFO service
-		// order) is unchanged — keeping long simulation tails from paying
-		// O(total trains) per injection cycle.
-		if len(trains) > 0 && cycle%cfg.InjectionInterval == 0 {
+		// queue defers the injection to the next cycle. Trains whose
+		// spike budget is exhausted are compacted out in the same pass
+		// (order-preserving, so queue push order matches the reference),
+		// keeping long simulation tails from paying O(total trains) per
+		// injection cycle.
+		if len(s.trains) > 0 && cycle%cfg.InjectionInterval == 0 {
 			w := 0
-			for ti := range trains {
-				t := trains[ti]
-				f := flit{dst: t.dst, injected: int32(cycle), yx: orientation(t.src, t.dst)}
-				port, drop, blocked := routePort(int(t.src), f)
+			for ti := range s.trains {
+				t := s.trains[ti]
+				f := flit{dst: t.dst, injected: int32(cycle), yx: s.orientation(t.src, t.dst)}
+				port, drop, blocked := s.routePort(int(t.src), f)
 				if blocked && !drop {
-					f.detour = uint8(detourHops)
+					f.detour = uint8(s.detourHops)
 				}
 				if drop {
 					t.count--
-					res.Dropped++
+					s.res.Dropped++
 					if t.count > 0 {
-						trains[w] = t
+						s.trains[w] = t
 						w++
 					}
 					continue
 				}
-				q := &queues[int(t.src)*5+port]
+				q := &s.queues[int(t.src)*5+port]
 				if cfg.QueueCap > 0 && q.len() >= cfg.QueueCap {
-					res.InjectionStalls++
-					trains[w] = t
+					s.res.InjectionStalls++
+					s.trains[w] = t
 					w++
 					continue
 				}
 				t.count--
 				q.push(f)
-				if q.len() > res.MaxQueueLen {
-					res.MaxQueueLen = q.len()
+				if q.len() > s.res.MaxQueueLen {
+					s.res.MaxQueueLen = q.len()
 				}
-				res.RouterTraversals[t.src]++
-				inFlight++
-				injections++
+				s.res.RouterTraversals[t.src]++
+				s.inFlight++
+				s.injections++
+				markActive(int(t.src))
 				if t.count > 0 {
-					trains[w] = t
+					s.trains[w] = t
 					w++
 				}
 			}
-			trains = trains[:w]
+			s.trains = s.trains[:w]
 		}
-		if inFlight == 0 && len(trains) == 0 {
-			res.Cycles = cycle
+		if s.inFlight == 0 && len(s.trains) == 0 {
+			s.res.Cycles = cycle
 			break
+		}
+		if s.inFlight == 0 {
+			// Every queue is empty but trains remain: nothing can happen
+			// until the next injection wave, so fast-forward to it. The
+			// jump is capped at MaxCycles+1 so a wave scheduled past the
+			// cycle limit still fails exactly where the reference fails.
+			next := (cycle/cfg.InjectionInterval + 1) * cfg.InjectionInterval
+			if next > cfg.MaxCycles+1 {
+				next = cfg.MaxCycles + 1
+			}
+			if next-1 > cycle {
+				cycle = next - 1
+			}
+			continue
 		}
 		// Service one flit per output port. Two-phase (collect candidates,
 		// then apply) so a flit moves at most one hop per cycle; with
 		// bounded queues a candidate whose downstream queue is full stays
 		// put (credit-based backpressure), applied in deterministic router
 		// order.
-		type candidate struct {
-			src int // source queue index in queues
-			to  int // destination router
-		}
-		var candidates []candidate
-		for idx := 0; idx < cores; idx++ {
-			base := idx * 5
+		slices.Sort(active)
+		candidates = candidates[:0]
+		for _, idx := range active {
+			base := int(idx) * 5
 			for port := 0; port < 5; port++ {
-				q := &queues[base+port]
+				q := &s.queues[base+port]
 				if q.len() == 0 {
 					continue
 				}
 				if port == local {
-					f := q.pop()
-					res.Delivered++
-					inFlight--
-					lat := int(int32(cycle) - f.injected + 1)
-					latencySum += int64(lat)
-					if lat > res.MaxLatencyCycles {
-						res.MaxLatencyCycles = lat
-					}
+					s.deliver(q, cycle)
 					continue
 				}
-				candidates = append(candidates, candidate{src: base + port, to: neighbor(idx, port)})
+				candidates = append(candidates, candidate{src: base + port, to: s.neighbor(int(idx), port)})
 			}
 		}
 		for _, m := range candidates {
-			src := &queues[m.src]
+			src := &s.queues[m.src]
 			f := src.peek()
-			if defects != nil && (f.hops >= maxHops || cycle-int(f.injected) > cfg.WatchdogCycles) {
+			if s.defects != nil && (f.hops >= s.maxHops || cycle-int(f.injected) > cfg.WatchdogCycles) {
 				// Detour budget exhausted, or the spike has been in flight
 				// longer than the watchdog window (stuck in a traffic jam
 				// against a fault boundary, where deep queues make the hop
@@ -616,46 +733,50 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 				// serviced; the watchdog covers the remaining case of a full
 				// service stall (true deadlock).
 				src.pop()
-				res.Dropped++
-				inFlight--
+				s.res.Dropped++
+				s.inFlight--
 				continue
 			}
-			port, drop, blocked := routePort(m.to, f)
+			port, drop, blocked := s.routePort(m.to, f)
 			if drop {
 				src.pop()
-				res.Dropped++
-				inFlight--
+				s.res.Dropped++
+				s.inFlight--
 				continue
 			}
-			q := &queues[m.to*5+port]
+			q := &s.queues[m.to*5+port]
 			if cfg.QueueCap > 0 && q.len() >= cfg.QueueCap {
-				res.Stalls++
+				s.res.Stalls++
 				continue
 			}
 			src.pop()
 			if blocked {
-				f.detour = uint8(detourHops)
+				f.detour = uint8(s.detourHops)
 			} else if f.detour > 0 {
 				f.detour--
 			}
 			f.hops++
-			res.WireTraversals++
+			s.res.WireTraversals++
 			q.push(f)
-			if q.len() > res.MaxQueueLen {
-				res.MaxQueueLen = q.len()
+			if q.len() > s.res.MaxQueueLen {
+				s.res.MaxQueueLen = q.len()
 			}
-			res.RouterTraversals[m.to]++
+			s.res.RouterTraversals[m.to]++
+			markActive(m.to)
 		}
+		// Retire routers whose queues all drained this cycle (newly
+		// activated destinations were appended above and are re-checked
+		// here too, which keeps the list duplicate-free and tight).
+		keep := active[:0]
+		for _, idx := range active {
+			if hasFlits(idx) {
+				keep = append(keep, idx)
+			} else {
+				inActive[idx] = false
+			}
+		}
+		active = keep
 	}
 
-	var totalRouter int64
-	for _, t := range res.RouterTraversals {
-		totalRouter += t
-	}
-	res.Energy = cfg.Cost.RouterEnergy*float64(totalRouter) + cfg.Cost.WireEnergy*float64(res.WireTraversals)
-	if res.Delivered > 0 {
-		res.AvgLatencyCycles = float64(latencySum) / float64(res.Delivered)
-		res.AvgHops = float64(res.WireTraversals) / float64(res.Delivered)
-	}
-	return res, nil
+	return s.finish(), nil
 }
