@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -28,6 +29,7 @@ func main() {
 		budget   = flag.Duration("budget", 30*time.Second, "wall-clock budget per method run (0 = unlimited)")
 		workload = flag.String("workload", "ResNet", "workload for fig8/headline/ablation")
 		progress = flag.Bool("progress", true, "print per-run progress lines during sweeps")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for FD fine-tuning and metrics evaluation (1 = sequential; metrics are bit-identical either way)")
 	)
 	flag.Parse()
 
@@ -35,7 +37,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := expt.RunOptions{Seed: *seed, Budget: *budget}
+	opts := expt.RunOptions{Seed: *seed, Budget: *budget, Workers: *workers}
 
 	want := map[string]bool{}
 	for _, r := range strings.Split(*runs, ",") {

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -48,6 +49,7 @@ func main() {
 		savePlace = flag.String("save-placement", "", "write the placement (binary) to this file")
 		exportDot = flag.String("export-dot", "", "write the PCN as Graphviz DOT to this file")
 		exportCSV = flag.String("export-csv", "", "write the placement as CSV to this file")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for FD fine-tuning and metrics evaluation (1 = sequential; metrics are bit-identical either way)")
 	)
 	flag.Parse()
 
@@ -96,7 +98,7 @@ func main() {
 		fmt.Printf("defects: %d dead cores, %d degraded, %d failed links on %v\n",
 			defects.NumDead(), defects.NumDegraded(), defects.NumFailedLinks(), mesh)
 	}
-	opts := expt.RunOptions{Seed: *seed, Budget: *budget, Defects: defects}
+	opts := expt.RunOptions{Seed: *seed, Budget: *budget, Defects: defects, Workers: *workers}
 	pl, stats, err := m.Run(p, mesh, opts)
 	for errors.Is(err, mapping.ErrUnplaceable) && specFaults {
 		// Spec-based faults: grow the mesh one row/column and re-inject until
@@ -122,7 +124,7 @@ func main() {
 	fmt.Printf("%s mapped in %v%s\n", m.Name, stats.Elapsed, es)
 
 	cost := hw.DefaultCostModel()
-	sum := metrics.Evaluate(p, pl, cost, metrics.Options{})
+	sum := metrics.Evaluate(p, pl, cost, metrics.Options{Workers: *workers})
 	fmt.Printf("metrics: %s\n", sum)
 	if defects != nil {
 		if err := pl.ValidateDefects(defects); err != nil {
@@ -163,7 +165,7 @@ func main() {
 				fatal(err)
 			}
 			fmt.Println("\ncongestion heatmap (Eq. 13):")
-			grid := metrics.CongestionGrid(p, pl, 1)
+			grid := metrics.CongestionGrid(p, pl, 1, *workers)
 			if err := viz.Heatmap(os.Stdout, grid, mesh.Rows, mesh.Cols); err != nil {
 				fatal(err)
 			}

@@ -149,7 +149,7 @@ func Fig8(w io.Writer, workload string, opts RunOptions) error {
 		if err != nil {
 			return fmt.Errorf("method %s: %w", m.Name, err)
 		}
-		sum := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{})
+		sum := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{Workers: opts.Workers})
 		if i == 0 {
 			base = sum
 		}
@@ -190,7 +190,7 @@ func Sweep(scale Scale, opts RunOptions, progress io.Writer) ([]SweepRow, error)
 			if err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", m.Name, wl.Name, err)
 			}
-			sum := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{})
+			sum := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{Workers: opts.Workers})
 			if i == 0 {
 				base = sum
 			}
@@ -319,7 +319,7 @@ func Headline(w io.Writer, workload string, opts RunOptions) error {
 		return err
 	}
 	fmt.Fprintf(w, "proposed approach solved in %s%s\n", fmtDuration(stats.Elapsed), esMark(stats.EarlyStopped))
-	sum := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{})
+	sum := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{Workers: opts.Workers})
 	fmt.Fprintf(w, "metrics: %s\n", sum)
 	return nil
 }
@@ -363,7 +363,7 @@ func Ablation(w io.Writer, workload string, opts RunOptions) error {
 	if err != nil {
 		return err
 	}
-	base := metrics.Evaluate(p, hscPl, opts.Cost, metrics.Options{})
+	base := metrics.Evaluate(p, hscPl, opts.Cost, metrics.Options{Workers: opts.Workers})
 	for _, name := range []string{"l1", "l1sq", "l2sq", "energy"} {
 		pot, err := mapping.PotentialByName(name, opts.Cost)
 		if err != nil {
@@ -374,7 +374,7 @@ func Ablation(w io.Writer, workload string, opts RunOptions) error {
 		if err != nil {
 			return err
 		}
-		n := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{}).Normalize(base)
+		n := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{Workers: opts.Workers}).Normalize(base)
 		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%s\n",
 			name, n.Energy, n.AvgLatency, n.MaxLatency, n.AvgCongestion, n.MaxCongestion, fmtDuration(st.Elapsed))
 	}

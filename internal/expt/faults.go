@@ -104,7 +104,7 @@ func faultSweepRows(wl *Workload, fracs []float64, linkFrac float64, opts RunOpt
 		if err := pl.ValidateDefects(d); err != nil {
 			return nil, fmt.Errorf("expt: fault sweep at dead=%.2f: %w", frac, err)
 		}
-		sum := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{})
+		sum := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{Workers: opts.Workers})
 		res, err := noc.Simulate(p, pl, noc.Config{
 			Cost:          opts.Cost,
 			Defects:       d,

@@ -28,6 +28,11 @@ type RunOptions struct {
 	// Constraints is the capacity baseline Defects' degrade scales apply
 	// to (zero value = unconstrained).
 	Constraints hw.Constraints
+	// Workers fans FD fine-tuning and metrics evaluation out over up to
+	// this many goroutines (0 or 1 = sequential). Results are
+	// bit-identical across worker counts for metrics and deterministic
+	// for FD per mapping.FDConfig's contract.
+	Workers int
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -80,6 +85,7 @@ func fdMethod(name string, c curve.Curve, pot func(hw.CostModel) mapping.Potenti
 			Budget:      opts.Budget,
 			Defects:     opts.Defects,
 			Constraints: opts.Constraints,
+			Workers:     opts.Workers,
 		})
 		if err != nil {
 			return nil, MethodStats{}, err

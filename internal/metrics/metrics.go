@@ -79,6 +79,13 @@ type Options struct {
 	// ExactWorkLimit bounds Σ bounding-box areas for CongestionAuto to
 	// choose the exact path (default 500 000 000).
 	ExactWorkLimit int64
+	// Workers fans the edge walk out over up to this many goroutines
+	// (same contract as mapping.FDConfig.Workers: 0 or 1 is sequential).
+	// Results are bit-identical for every worker count: the walk is split
+	// into a fixed number of chunks independent of Workers, per-chunk
+	// partials are reduced in chunk order, and the sequential path uses
+	// the same chunked reduction.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -91,35 +98,88 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// evalPartial is one chunk's share of Evaluate's edge-walk accumulators.
+type evalPartial struct {
+	energy, weightedLatency, maxLatency float64
+	totalWeight, avgCongestion          float64
+	sampledWeight                       float64
+	bboxWork                            int64
+}
+
+// sampleStride returns the deterministic edge stride CongestionSampled
+// mode uses for this PCN under opts: every stride-th edge in global CSR
+// order is accumulated. Both Evaluate's in-pass sampled-weight sum and
+// CongestionGrid's accumulation derive from this single definition, so
+// the two cannot drift apart.
+func sampleStride(p *pcn.PCN, opts Options) int {
+	if e := int(p.NumEdges()); e > opts.SampleEdges {
+		return (e + opts.SampleEdges - 1) / opts.SampleEdges
+	}
+	return 1
+}
+
 // Evaluate computes all five metrics of §3.3 for the placement.
+//
+// The edge walk is split into a fixed chunk count and, with opts.Workers >
+// 1, fanned out over goroutines; partials are reduced in chunk order so the
+// Summary is bit-identical for every worker count (including sequential).
 func Evaluate(p *pcn.PCN, pl *place.Placement, cost hw.CostModel, opts Options) Summary {
 	opts = opts.withDefaults()
 	var s Summary
 	mesh := pl.Mesh
 
-	var totalWeight float64
-	var weightedLatency float64
-	var bboxWork int64
-	for c := 0; c < p.NumClusters; c++ {
-		src := pl.Of(c)
-		tos, ws := p.OutEdges(c)
-		for k, to := range tos {
-			dst := pl.Of(int(to))
-			d := geom.Manhattan(src, dst)
-			w := ws[k]
-			s.Energy += w * cost.SpikeEnergy(d)
-			lat := cost.SpikeLatency(d)
-			weightedLatency += w * lat
-			if lat > s.MaxLatency {
-				s.MaxLatency = lat
+	// The sampled-mode stride depends only on the edge count, so it is
+	// known before the walk: the sampled traffic share is accumulated in
+	// the same pass instead of re-walking every edge weight afterwards.
+	stride := sampleStride(p, opts)
+	needSampled := stride > 1 &&
+		(opts.Congestion == CongestionSampled || opts.Congestion == CongestionAuto)
+
+	n := p.NumClusters
+	k := chunksOf(n)
+	partials := make([]evalPartial, k)
+	runChunks(opts.Workers, k, func(ci int) {
+		lo, hi := ci*n/k, (ci+1)*n/k
+		pt := &partials[ci]
+		for c := lo; c < hi; c++ {
+			src := pl.Of(c)
+			tos, ws := p.OutEdges(c)
+			edgeIdx := p.OutOff[c]
+			for kk, to := range tos {
+				dst := pl.Of(int(to))
+				d := geom.Manhattan(src, dst)
+				w := ws[kk]
+				pt.energy += w * cost.SpikeEnergy(d)
+				lat := cost.SpikeLatency(d)
+				pt.weightedLatency += w * lat
+				if lat > pt.maxLatency {
+					pt.maxLatency = lat
+				}
+				pt.totalWeight += w
+				// Every spike visits d+1 routers, so the edge contributes
+				// w*(d+1) to the congestion grid total regardless of mode;
+				// the average (Eq. 12) is therefore exact and cheap.
+				pt.avgCongestion += w * float64(d+1)
+				pt.bboxWork += int64(geom.Abs(src.X-dst.X)+1) * int64(geom.Abs(src.Y-dst.Y)+1)
+				if needSampled && (edgeIdx+int64(kk))%int64(stride) == 0 {
+					pt.sampledWeight += w
+				}
 			}
-			totalWeight += w
-			// Every spike visits d+1 routers, so the edge contributes
-			// w*(d+1) to the congestion grid total regardless of mode;
-			// the average (Eq. 12) is therefore exact and cheap.
-			s.AvgCongestion += w * float64(d+1)
-			bboxWork += int64(geom.Abs(src.X-dst.X)+1) * int64(geom.Abs(src.Y-dst.Y)+1)
 		}
+	})
+	var totalWeight, weightedLatency, sampledWeight float64
+	var bboxWork int64
+	for ci := range partials {
+		pt := &partials[ci]
+		s.Energy += pt.energy
+		weightedLatency += pt.weightedLatency
+		if pt.maxLatency > s.MaxLatency {
+			s.MaxLatency = pt.maxLatency
+		}
+		totalWeight += pt.totalWeight
+		s.AvgCongestion += pt.avgCongestion
+		sampledWeight += pt.sampledWeight
+		bboxWork += pt.bboxWork
 	}
 	if totalWeight > 0 {
 		s.AvgLatency = weightedLatency / totalWeight
@@ -136,28 +196,16 @@ func Evaluate(p *pcn.PCN, pl *place.Placement, cost hw.CostModel, opts Options) 
 	}
 	switch mode {
 	case CongestionExact:
-		grid := CongestionGrid(p, pl, 1)
+		grid := CongestionGrid(p, pl, 1, opts.Workers)
 		s.MaxCongestion = maxOf(grid)
 	case CongestionSampled:
-		stride := 1
-		if e := int(p.NumEdges()); e > opts.SampleEdges {
-			stride = (e + opts.SampleEdges - 1) / opts.SampleEdges
-		}
-		grid := CongestionGrid(p, pl, stride)
-		if stride > 1 {
+		grid := CongestionGrid(p, pl, stride, opts.Workers)
+		if stride > 1 && sampledWeight > 0 {
 			// Rescale by the sampled traffic share so the grid estimates
 			// the full-population congestion.
-			var sampled float64
-			for i, w := range p.OutW {
-				if i%stride == 0 {
-					sampled += w
-				}
-			}
-			if sampled > 0 {
-				scale := totalWeight / sampled
-				for i := range grid {
-					grid[i] *= scale
-				}
+			scale := totalWeight / sampledWeight
+			for i := range grid {
+				grid[i] *= scale
 			}
 		}
 		s.MaxCongestion = maxOf(grid)
@@ -177,23 +225,64 @@ func maxOf(grid []float64) float64 {
 }
 
 // CongestionGrid accumulates Con(x,y) (Eq. 13) over every stride-th edge of
-// the PCN and returns the router grid in row-major order. stride 1 is exact.
-func CongestionGrid(p *pcn.PCN, pl *place.Placement, stride int) []float64 {
+// the PCN (in global CSR order) and returns the router grid in row-major
+// order. stride 1 is exact.
+//
+// With workers > 1 the cluster walk is chunked across goroutines into
+// per-chunk grids merged cell-wise in chunk order; the chunk count is fixed
+// independent of workers and the sequential path uses the same per-chunk
+// accumulation, so the grid is bit-identical for every worker count.
+func CongestionGrid(p *pcn.PCN, pl *place.Placement, stride, workers int) []float64 {
 	if stride < 1 {
 		stride = 1
 	}
 	mesh := pl.Mesh
-	grid := make([]float64, mesh.Cores())
-	var acc expeAccumulator
-	edgeIdx := 0
-	for c := 0; c < p.NumClusters; c++ {
-		src := pl.Of(c)
-		tos, ws := p.OutEdges(c)
-		for k, to := range tos {
-			if edgeIdx%stride == 0 {
-				acc.accumulate(grid, mesh, src, pl.Of(int(to)), ws[k])
+	cores := mesh.Cores()
+	grid := make([]float64, cores)
+	n := p.NumClusters
+	// Cap the chunk count so the transient per-chunk grids stay bounded
+	// (~64 MB of scratch on a million-core mesh).
+	k := chunksOf(n)
+	if maxGrids := 1 << 23 / max(cores, 1); k > maxGrids {
+		k = max(maxGrids, 1)
+	}
+	accumulate := func(ci int, dst []float64) {
+		var acc expeAccumulator
+		lo, hi := ci*n/k, (ci+1)*n/k
+		for c := lo; c < hi; c++ {
+			src := pl.Of(c)
+			tos, ws := p.OutEdges(c)
+			edgeIdx := p.OutOff[c]
+			for kk, to := range tos {
+				if (edgeIdx+int64(kk))%int64(stride) == 0 {
+					acc.accumulate(dst, mesh, src, pl.Of(int(to)), ws[kk])
+				}
 			}
-			edgeIdx++
+		}
+	}
+	if workers <= 1 || k == 1 {
+		// One reused scratch grid, merged after each chunk: per cell this
+		// is the same addition sequence as the parallel per-chunk merge
+		// below (chunk-local sums, then += in chunk order).
+		scratch := make([]float64, cores)
+		for ci := 0; ci < k; ci++ {
+			clear(scratch)
+			accumulate(ci, scratch)
+			for i, v := range scratch {
+				grid[i] += v
+			}
+		}
+		return grid
+	}
+	grids := make([][]float64, k)
+	backing := make([]float64, k*cores)
+	for ci := range grids {
+		grids[ci] = backing[ci*cores : (ci+1)*cores]
+	}
+	runChunks(workers, k, func(ci int) { accumulate(ci, grids[ci]) })
+	for ci := 0; ci < k; ci++ {
+		for i, v := range grids[ci] {
+			grid[i] += v
 		}
 	}
 	return grid

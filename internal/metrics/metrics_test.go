@@ -167,7 +167,7 @@ func TestCongestionGridTotalsMatchAverage(t *testing.T) {
 	mesh := hw.MustMesh(3, 3)
 	pl := placeAt(t, res.PCN, mesh,
 		geom.Point{X: 0, Y: 0}, geom.Point{X: 2, Y: 2}, geom.Point{X: 0, Y: 2}, geom.Point{X: 2, Y: 0})
-	grid := CongestionGrid(res.PCN, pl, 1)
+	grid := CongestionGrid(res.PCN, pl, 1, 1)
 	var total float64
 	for _, v := range grid {
 		total += v

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// evalChunks is the fixed chunk count of the parallel edge walks. It must
+// not depend on the worker count: chunk boundaries and the chunk-order
+// reduction are what make results bit-identical as Workers varies.
+const evalChunks = 64
+
+// chunksOf returns the chunk count for a walk over n clusters: evalChunks,
+// lowered so no chunk is empty, and at least 1 so the zero-cluster walk
+// still runs (vacuously) through the same code path.
+func chunksOf(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n < evalChunks {
+		return n
+	}
+	return evalChunks
+}
+
+// runChunks executes fn(ci) for every chunk index in [0, k). With workers
+// <= 1 (or a single chunk) it runs inline in chunk order; otherwise
+// min(workers, k) goroutines pull chunk indices from an atomic counter.
+// Which goroutine computes which chunk is irrelevant to the result: every
+// chunk writes only its own slot, and the caller reduces slots in chunk
+// order afterwards.
+func runChunks(workers, k int, fn func(ci int)) {
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 || k == 1 {
+		for ci := 0; ci < k; ci++ {
+			fn(ci)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= k {
+					return
+				}
+				fn(ci)
+			}
+		}()
+	}
+	wg.Wait()
+}
