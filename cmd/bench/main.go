@@ -1,0 +1,302 @@
+// Command bench times the mapping-and-evaluation pipeline on a fixed
+// workload matrix and writes BENCH_eval.json — the tracked performance
+// baseline future changes are measured against.
+//
+// Each record reports one operation on one workload (ns/op and allocs/op,
+// measured with testing.Benchmark) plus, where an operation has a
+// sequential baseline, the speedup against it: the event-driven NoC
+// simulator against the full-scan reference driver, and parallel metrics
+// evaluation against the single-worker walk.
+//
+// Usage:
+//
+//	bench -o BENCH_eval.json              # full matrix (~2 min)
+//	bench -tier smoke -o BENCH_eval.json  # CI-sized subset (~30 s)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"slices"
+	"testing"
+
+	"snnmap/internal/curve"
+	"snnmap/internal/expt"
+	"snnmap/internal/hw"
+	"snnmap/internal/mapping"
+	"snnmap/internal/metrics"
+	"snnmap/internal/noc"
+	"snnmap/internal/pcn"
+	"snnmap/internal/place"
+	"snnmap/internal/snn"
+)
+
+// Record is one benchmark measurement in BENCH_eval.json.
+type Record struct {
+	Op          string `json:"op"`
+	Workload    string `json:"workload"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	// SpeedupVsSequential compares against the op's sequential baseline
+	// (the reference NoC driver, or the workers=1 metrics walk); 0 when
+	// the op has no baseline.
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
+}
+
+// Report is the BENCH_eval.json document.
+type Report struct {
+	Tier       string   `json:"tier"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Records    []Record `json:"records"`
+}
+
+func main() {
+	var (
+		tier = flag.String("tier", "full", "workload matrix: smoke (CI-sized) or full")
+		out  = flag.String("o", "BENCH_eval.json", "output file (- for stdout)")
+	)
+	flag.Parse()
+	smoke := *tier == "smoke"
+	if !smoke && *tier != "full" {
+		fmt.Fprintf(os.Stderr, "bench: unknown tier %q (smoke|full)\n", *tier)
+		os.Exit(1)
+	}
+
+	rep := Report{Tier: *tier, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	add := func(op, workload string, r testing.BenchmarkResult, speedup float64) {
+		rec := Record{Op: op, Workload: workload, NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(), SpeedupVsSequential: speedup}
+		rep.Records = append(rep.Records, rec)
+		note := ""
+		if speedup > 0 {
+			note = fmt.Sprintf("  (%.2fx vs sequential)", speedup)
+		}
+		fmt.Fprintf(os.Stderr, "%-28s %-14s %12d ns/op %8d allocs/op%s\n", op, workload, r.NsPerOp(), r.AllocsPerOp(), note)
+	}
+
+	// --- Mapping pipeline on a real Table 3 workload ---
+	wlName := "MobileNet"
+	if smoke {
+		wlName = "LeNet-MNIST"
+	}
+	wl, err := expt.WorkloadByName(wlName)
+	if err != nil {
+		fatal(err)
+	}
+	p, mesh, err := wl.Build()
+	if err != nil {
+		fatal(err)
+	}
+
+	add("partition", wlName, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pcn.Expand(wl.Net(), pcn.DefaultPartition()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), 0)
+
+	add("initial-placement", wlName, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mapping.InitialPlacement(p, mesh, curve.Hilbert{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), 0)
+
+	initial, err := mapping.InitialPlacement(p, mesh, curve.Hilbert{})
+	if err != nil {
+		fatal(err)
+	}
+	fdIters := 4
+	if smoke {
+		fdIters = 2
+	}
+	add("fd-finetune", wlName, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pl := clonePlacement(initial)
+			if _, err := mapping.Finetune(p, pl, mapping.FDConfig{MaxIterations: fdIters}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), 0)
+
+	// --- Metrics evaluation: worker sweep on a congestion-heavy graph ---
+	mp, mpl := metricsWorkload(smoke)
+	mwl := "synthetic-3k"
+	if smoke {
+		mwl = "synthetic-300"
+	}
+	cost := hw.DefaultCostModel()
+	var seqNs int64
+	for _, workers := range []int{1, 2, 4, 8} {
+		w := workers
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				metrics.Evaluate(mp, mpl, cost, metrics.Options{Congestion: metrics.CongestionExact, Workers: w})
+			}
+		})
+		speedup := 0.0
+		if workers == 1 {
+			seqNs = r.NsPerOp()
+		} else if r.NsPerOp() > 0 {
+			speedup = float64(seqNs) / float64(r.NsPerOp())
+		}
+		add(fmt.Sprintf("metrics-evaluate/workers=%d", workers), mwl, r, speedup)
+	}
+
+	// --- NoC simulation: event-driven engine vs full-scan reference ---
+	for _, sim := range []struct {
+		name  string
+		build func() (*pcn.PCN, *place.Placement)
+		cfg   noc.Config
+	}{
+		{"sparse64x64", sparse64x64Workload, noc.Config{InjectionInterval: 24}},
+		{"longtail400", longTailWorkload, noc.Config{InjectionInterval: 4}},
+	} {
+		sp, spl := sim.build()
+		ref := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := noc.SimulateReference(context.Background(), sp, spl, sim.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add("noc-sim/reference", sim.name, ref, 0)
+		ev := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := noc.Simulate(sp, spl, sim.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		speedup := 0.0
+		if ev.NsPerOp() > 0 {
+			speedup = float64(ref.NsPerOp()) / float64(ev.NsPerOp())
+		}
+		add("noc-sim/event", sim.name, ev, speedup)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", *out, len(rep.Records))
+}
+
+func clonePlacement(pl *place.Placement) *place.Placement {
+	return &place.Placement{Mesh: pl.Mesh, PosOf: slices.Clone(pl.PosOf), ClusterAt: slices.Clone(pl.ClusterAt)}
+}
+
+// metricsWorkload builds the congestion-heavy random graph the metrics
+// worker sweep runs on (exact expectation grids dominate the cost).
+func metricsWorkload(smoke bool) (*pcn.PCN, *place.Placement) {
+	clusters, edges, side := 3000, 60_000, 55
+	if smoke {
+		clusters, edges, side = 300, 3000, 18
+	}
+	rng := rand.New(rand.NewSource(6))
+	var b snn.GraphBuilder
+	b.AddNeurons(clusters, -1)
+	for e := 0; e < edges; e++ {
+		u, v := rng.Intn(clusters), rng.Intn(clusters)
+		if u != v {
+			b.AddSynapse(u, v, rng.Float64()*9+0.5)
+		}
+	}
+	res, err := pcn.Partition(b.Build(), pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+	if err != nil {
+		fatal(err)
+	}
+	pl, err := place.Random(res.PCN.NumClusters, hw.MustMesh(side, side), rng)
+	if err != nil {
+		fatal(err)
+	}
+	return res.PCN, pl
+}
+
+// sparse64x64Workload is the tentpole NoC benchmark: a 64×64 mesh with 64
+// injecting cores (every 8th row/column), each feeding four neighbors
+// eight cores away, 48 spikes per edge, in waves that fully drain between
+// injections. The reference driver scans all 4096·5 queues every cycle;
+// the event engine visits only occupied routers and fast-forwards the
+// idle gaps.
+func sparse64x64Workload() (*pcn.PCN, *place.Placement) {
+	const side = 64
+	mesh := hw.MustMesh(side, side)
+	var gb snn.GraphBuilder
+	gb.AddNeurons(side*side, -1)
+	for r := 4; r < side; r += 8 {
+		for c := 4; c < side; c += 8 {
+			src := r*side + c
+			for _, d := range [][2]int{{-8, 0}, {8, 0}, {0, -8}, {0, 8}} {
+				nr, nc := r+d[0], c+d[1]
+				if nr >= 0 && nr < side && nc >= 0 && nc < side {
+					gb.AddSynapse(src, nr*side+nc, 48)
+				}
+			}
+		}
+	}
+	res, err := pcn.Partition(gb.Build(), pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+	if err != nil {
+		fatal(err)
+	}
+	pl, err := place.New(res.PCN.NumClusters, mesh)
+	if err != nil {
+		fatal(err)
+	}
+	for c := 0; c < res.PCN.NumClusters; c++ {
+		pl.Assign(c, int32(c))
+	}
+	return res.PCN, pl
+}
+
+// longTailWorkload stresses injection-train bookkeeping: ~2000 one-shot
+// trains plus one 3000-spike edge that keeps injecting long after the
+// rest have drained.
+func longTailWorkload() (*pcn.PCN, *place.Placement) {
+	rng := rand.New(rand.NewSource(5))
+	const clusters = 400
+	var gb snn.GraphBuilder
+	gb.AddNeurons(clusters, -1)
+	for e := 0; e < 2000; e++ {
+		u, v := rng.Intn(clusters), rng.Intn(clusters)
+		if u != v {
+			gb.AddSynapse(u, v, 1)
+		}
+	}
+	gb.AddSynapse(0, clusters-1, 3000)
+	res, err := pcn.Partition(gb.Build(), pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+	if err != nil {
+		fatal(err)
+	}
+	pl, err := place.Random(res.PCN.NumClusters, hw.MustMesh(20, 20), rng)
+	if err != nil {
+		fatal(err)
+	}
+	return res.PCN, pl
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}
