@@ -23,6 +23,8 @@ import (
 	"os"
 	"runtime"
 	"slices"
+	"strconv"
+	"strings"
 	"testing"
 
 	"snnmap/internal/curve"
@@ -137,7 +139,7 @@ func main() {
 	}
 	cost := hw.DefaultCostModel()
 	var seqNs int64
-	for _, workers := range []int{1, 2, 4, 8} {
+	for _, workers := range sweepFromEnv("BENCH_WORKERS", []int{1, 2, 4, 8}) {
 		w := workers
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -188,6 +190,36 @@ func main() {
 		add("noc-sim/event", sim.name, ev, speedup)
 	}
 
+	// --- Sharded NoC simulation: strip-count sweep on a dense workload ---
+	// Speedups are measured against the shards=1 single-goroutine event
+	// engine, the baseline the tentpole targets (on a 1-core runner the
+	// gomaxprocs field above explains a ~1x plateau).
+	shardSide, shardWl := 128, "dense128x128"
+	if smoke {
+		shardSide, shardWl = 64, "dense64x64"
+	}
+	dp, dpl := denseWorkload(shardSide, 4)
+	shardSweep := sweepFromEnv("BENCH_SIM_SHARDS", []int{1, 2, 4, 8})
+	var oneShardNs int64
+	for _, shards := range shardSweep {
+		cfg := noc.Config{Shards: noc.ClampShards(shards, shardSide)}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := noc.Simulate(dp, dpl, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		speedup := 0.0
+		if shards == 1 {
+			oneShardNs = r.NsPerOp()
+		} else if oneShardNs > 0 && r.NsPerOp() > 0 {
+			speedup = float64(oneShardNs) / float64(r.NsPerOp())
+		}
+		add(fmt.Sprintf("noc-sim/sharded/shards=%d", shards), shardWl, r, speedup)
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -201,6 +233,54 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", *out, len(rep.Records))
+}
+
+// sweepFromEnv reads a comma-separated list of positive ints from the
+// environment, falling back to def when unset. CI uses it to size the
+// worker and shard sweeps to the runner's cores so the smoke tier
+// exercises the parallel paths rather than a hardcoded matrix.
+func sweepFromEnv(name string, def []int) []int {
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	var sweep []int
+	for _, field := range strings.Split(v, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("%s=%q: want a comma-separated list of positive ints", name, v))
+		}
+		sweep = append(sweep, n)
+	}
+	return sweep
+}
+
+// denseWorkload fills a side×side mesh with identity-placed clusters where
+// every core streams spikes half the mesh height downward (and one column
+// over): sustained vertical traffic in every row strip, the worst case for
+// the sharded engine's boundary exchange.
+func denseWorkload(side int, spikes float64) (*pcn.PCN, *place.Placement) {
+	mesh := hw.MustMesh(side, side)
+	var gb snn.GraphBuilder
+	gb.AddNeurons(side*side, -1)
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			dst := ((r+side/2)%side)*side + (c+1)%side
+			gb.AddSynapse(r*side+c, dst, spikes)
+		}
+	}
+	res, err := pcn.Partition(gb.Build(), pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+	if err != nil {
+		fatal(err)
+	}
+	pl, err := place.New(res.PCN.NumClusters, mesh)
+	if err != nil {
+		fatal(err)
+	}
+	for c := 0; c < res.PCN.NumClusters; c++ {
+		pl.Assign(c, int32(c))
+	}
+	return res.PCN, pl
 }
 
 func clonePlacement(pl *place.Placement) *place.Placement {

@@ -30,6 +30,7 @@ func main() {
 		workload = flag.String("workload", "ResNet", "workload for fig8/headline/ablation")
 		progress = flag.Bool("progress", true, "print per-run progress lines during sweeps")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for FD fine-tuning and metrics evaluation (1 = sequential; metrics are bit-identical either way)")
+		simShards = flag.Int("sim-shards", runtime.GOMAXPROCS(0), "row-strip goroutines for the NoC simulator (1 = single goroutine; results are bit-identical at any count)")
 	)
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := expt.RunOptions{Seed: *seed, Budget: *budget, Workers: *workers}
+	opts := expt.RunOptions{Seed: *seed, Budget: *budget, Workers: *workers, SimShards: *simShards}
 
 	want := map[string]bool{}
 	for _, r := range strings.Split(*runs, ",") {

@@ -50,6 +50,7 @@ func main() {
 		exportDot = flag.String("export-dot", "", "write the PCN as Graphviz DOT to this file")
 		exportCSV = flag.String("export-csv", "", "write the placement as CSV to this file")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for FD fine-tuning and metrics evaluation (1 = sequential; metrics are bit-identical either way)")
+		simShards = flag.Int("sim-shards", runtime.GOMAXPROCS(0), "row-strip goroutines for the NoC simulator (1 = single goroutine; results are bit-identical at any count)")
 	)
 	flag.Parse()
 
@@ -98,7 +99,7 @@ func main() {
 		fmt.Printf("defects: %d dead cores, %d degraded, %d failed links on %v\n",
 			defects.NumDead(), defects.NumDegraded(), defects.NumFailedLinks(), mesh)
 	}
-	opts := expt.RunOptions{Seed: *seed, Budget: *budget, Defects: defects, Workers: *workers}
+	opts := expt.RunOptions{Seed: *seed, Budget: *budget, Defects: defects, Workers: *workers, SimShards: *simShards}
 	pl, stats, err := m.Run(p, mesh, opts)
 	for errors.Is(err, mapping.ErrUnplaceable) && specFaults {
 		// Spec-based faults: grow the mesh one row/column and re-inject until
@@ -144,6 +145,7 @@ func main() {
 			SpikesPerUnit: simScale(p.TotalWeight()),
 			Defects:       defects,
 			FaultAware:    defects != nil,
+			Shards:        noc.ClampShards(*simShards, mesh.Rows),
 		})
 		if err != nil {
 			fatal(err)

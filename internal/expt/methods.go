@@ -33,6 +33,11 @@ type RunOptions struct {
 	// bit-identical across worker counts for metrics and deterministic
 	// for FD per mapping.FDConfig's contract.
 	Workers int
+	// SimShards partitions NoC simulation runs into this many row-strip
+	// goroutines (0 or 1 = single goroutine). Clamped to the mesh's row
+	// count; results are bit-identical at any shard count per
+	// noc.Config.Shards' contract.
+	SimShards int
 }
 
 func (o RunOptions) withDefaults() RunOptions {

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -15,7 +16,7 @@ import (
 // trains that exhaust on the first few injection waves, plus one heavy edge
 // that keeps injecting for thousands of cycles afterwards. Without train
 // compaction every one of those waves re-scans the full train list.
-func longTailWorkload(b *testing.B) (*pcn.PCN, *place.Placement) {
+func longTailWorkload(b testing.TB) (*pcn.PCN, *place.Placement) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(5))
 	const clusters = 400
@@ -87,10 +88,58 @@ func BenchmarkSimulateSparse64x64(b *testing.B) {
 	}
 }
 
+// denseWorkload fills a side×side mesh with identity-placed clusters where
+// every core streams spikes half the mesh height downward (and one column
+// over), so every row strip carries sustained vertical traffic — the
+// worst case for the sharded engine's boundary exchange.
+func denseWorkload(b testing.TB, side int, spikes float64) (*pcn.PCN, *place.Placement) {
+	b.Helper()
+	mesh := hw.MustMesh(side, side)
+	var gb snn.GraphBuilder
+	gb.AddNeurons(side*side, -1)
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			dst := ((r+side/2)%side)*side + (c+1)%side
+			gb.AddSynapse(r*side+c, dst, spikes)
+		}
+	}
+	res, err := pcn.Partition(gb.Build(), pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := place.New(res.PCN.NumClusters, mesh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c := 0; c < res.PCN.NumClusters; c++ {
+		pl.Assign(c, int32(c))
+	}
+	return res.PCN, pl
+}
+
+// BenchmarkSimulateSharded tracks the sharded engine's scaling and the
+// allocation cost of its exchange buffers on a dense all-cores workload.
+// shards=1 is the single-goroutine event engine the speedups are measured
+// against.
+func BenchmarkSimulateSharded(b *testing.B) {
+	p, pl := denseWorkload(b, 64, 4)
+	for _, shards := range []int{1, 2, 4} {
+		cfg := Config{Shards: shards}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(p, pl, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // sparse64x64Workload: 4096 clusters placed identically onto a 64×64 mesh,
 // with 64 sources (every 8th row/column) each feeding four neighbors eight
 // cores away, 48 spikes per edge.
-func sparse64x64Workload(b *testing.B) (*pcn.PCN, *place.Placement) {
+func sparse64x64Workload(b testing.TB) (*pcn.PCN, *place.Placement) {
 	b.Helper()
 	const side = 64
 	mesh := hw.MustMesh(side, side)

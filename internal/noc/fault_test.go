@@ -193,6 +193,7 @@ func TestConfigValidate(t *testing.T) {
 		"negative detour":    {MaxDetourHops: -1},
 		"negative watchdog":  {WatchdogCycles: -1},
 		"negative max spike": {MaxSpikes: -1},
+		"negative shards":    {Shards: -1},
 	} {
 		if err := bad.Validate(); !errors.Is(err, ErrBadConfig) {
 			t.Errorf("%s: got %v, want ErrBadConfig", name, err)

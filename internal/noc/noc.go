@@ -32,7 +32,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"slices"
 
 	"snnmap/internal/geom"
 	"snnmap/internal/hw"
@@ -126,6 +125,17 @@ type Config struct {
 	// flight, the run fails with ErrLivelock. Zero means 1_000_000; it is
 	// clamped to at least twice the injection interval.
 	WatchdogCycles int
+	// Shards partitions the mesh into this many contiguous row strips,
+	// each simulated by its own goroutine with cycle-synchronized
+	// boundary exchange; Results are bit-identical to SimulateReference
+	// at every shard count. 0 or 1 runs the single-goroutine event
+	// engine. Shards must not exceed the mesh's row count (one row strip
+	// per shard at minimum); see ClampShards for a caller-side clamp.
+	// With bounded queues (QueueCap > 0) credit decisions form a
+	// sequential dependency chain across strips, so the service-apply
+	// phase runs on the coordinator while injection and the
+	// collect/deliver scan still fan out.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +159,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WatchdogCycles < 2*c.InjectionInterval {
 		c.WatchdogCycles = 2 * c.InjectionInterval
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 	return c
 }
@@ -176,6 +189,7 @@ func (c Config) Validate() error {
 		{"MaxCycles", c.MaxCycles},
 		{"MaxDetourHops", c.MaxDetourHops},
 		{"WatchdogCycles", c.WatchdogCycles},
+		{"Shards", c.Shards},
 	} {
 		if v.val < 0 {
 			return fmt.Errorf("%w: negative %s %d", ErrBadConfig, v.name, v.val)
@@ -297,6 +311,9 @@ func newSimState(p *pcn.PCN, pl *place.Placement, cfg Config) (*simState, error)
 	}
 	cfg = cfg.withDefaults()
 	mesh := pl.Mesh
+	if cfg.Shards > mesh.Rows {
+		return nil, fmt.Errorf("%w: Shards=%d exceeds the mesh's %d rows (each shard needs at least one row strip)", ErrBadConfig, cfg.Shards, mesh.Rows)
+	}
 	s := &simState{
 		cfg:     cfg,
 		mesh:    mesh,
@@ -574,6 +591,11 @@ func Simulate(p *pcn.PCN, pl *place.Placement, cfg Config) (Result, error) {
 // SimulateContext is Simulate with cooperative cancellation: the cycle loop
 // checks ctx periodically and returns the partial Result with an error
 // wrapping ErrCanceled when the context is done.
+//
+// With cfg.Shards >= 2 the mesh is partitioned into row strips simulated by
+// one goroutine each (see shard.go); otherwise the event-driven engine runs
+// on a single whole-mesh strip. Either way the Result is bit-identical to
+// SimulateReference.
 func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -585,33 +607,17 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 	if err != nil {
 		return Result{}, err
 	}
+	if s.cfg.Shards >= 2 {
+		return simulateSharded(ctx, s)
+	}
 	cfg = s.cfg
 
-	// Active-router worklist: every router with at least one occupied
-	// queue. The service scan visits only these, in ascending router
-	// order — the same order the reference's full scan produces — so the
-	// candidate sequence, and with it every queue interaction, is
-	// identical to the reference simulator's.
-	inActive := make([]bool, s.cores)
-	var active []int32
-	markActive := func(idx int) {
-		if !inActive[idx] {
-			inActive[idx] = true
-			active = append(active, int32(idx))
-		}
-	}
-	hasFlits := func(idx int32) bool {
-		base := int(idx) * 5
-		for port := 0; port < 5; port++ {
-			if s.queues[base+port].len() > 0 {
-				return true
-			}
-		}
-		return false
-	}
-	// The candidate buffer is hoisted out of the cycle loop and reused —
-	// the reference allocates it afresh every cycle.
-	var candidates []candidate
+	// Single-goroutine event engine: one strip spanning the whole mesh,
+	// driven inline with no barriers. The strip primitives (inject,
+	// collect, apply, retire) are shared with the sharded engine, which
+	// is what keeps the two bit-identical.
+	st := newStrip(s, 0, s.cores)
+	st.trains, s.trains = s.trains, nil
 
 	// Progress watchdog state: progress means an injection, delivery or
 	// drop — wire movement alone does not count, so a spike orbiting an
@@ -620,72 +626,29 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 	lastProgressCycle := 0
 
 	for cycle := 0; ; cycle++ {
+		inFlight := st.acc.injections - st.acc.exited
 		if cycle > cfg.MaxCycles {
-			return s.res, fmt.Errorf("noc: exceeded MaxCycles=%d with %d spikes in flight: %w", cfg.MaxCycles, s.inFlight, ErrLivelock)
+			return s.mergeStrips(st), fmt.Errorf("noc: exceeded MaxCycles=%d with %d spikes in flight: %w", cfg.MaxCycles, inFlight, ErrLivelock)
 		}
 		if cycle&2047 == 0 && ctx.Err() != nil {
-			return s.res, fmt.Errorf("noc: %v after %d cycles: %w", ctx.Err(), cycle, ErrCanceled)
+			return s.mergeStrips(st), fmt.Errorf("noc: %v after %d cycles: %w", ctx.Err(), cycle, ErrCanceled)
 		}
-		if progress := s.injections + s.res.Delivered + s.res.Dropped; progress != lastProgress {
+		delivered, dropped := st.acc.delivered, s.res.Dropped+st.acc.dropped
+		if progress := st.acc.injections + delivered + dropped; progress != lastProgress {
 			lastProgress = progress
 			lastProgressCycle = cycle
 		} else if cycle-lastProgressCycle > cfg.WatchdogCycles {
-			return s.res, fmt.Errorf("noc: no forward progress for %d cycles with %d spikes in flight (delivered %d, dropped %d): %w",
-				cfg.WatchdogCycles, s.inFlight, s.res.Delivered, s.res.Dropped, ErrLivelock)
+			return s.mergeStrips(st), fmt.Errorf("noc: no forward progress for %d cycles with %d spikes in flight (delivered %d, dropped %d): %w",
+				cfg.WatchdogCycles, inFlight, delivered, dropped, ErrLivelock)
 		}
-		// Inject due spikes (the source router services them like any
-		// other traffic by entering its queues directly). A full source
-		// queue defers the injection to the next cycle. Trains whose
-		// spike budget is exhausted are compacted out in the same pass
-		// (order-preserving, so queue push order matches the reference),
-		// keeping long simulation tails from paying O(total trains) per
-		// injection cycle.
-		if len(s.trains) > 0 && cycle%cfg.InjectionInterval == 0 {
-			w := 0
-			for ti := range s.trains {
-				t := s.trains[ti]
-				f := flit{dst: t.dst, injected: int32(cycle), yx: s.orientation(t.src, t.dst)}
-				port, drop, blocked := s.routePort(int(t.src), f)
-				if blocked && !drop {
-					f.detour = uint8(s.detourHops)
-				}
-				if drop {
-					t.count--
-					s.res.Dropped++
-					if t.count > 0 {
-						s.trains[w] = t
-						w++
-					}
-					continue
-				}
-				q := &s.queues[int(t.src)*5+port]
-				if cfg.QueueCap > 0 && q.len() >= cfg.QueueCap {
-					s.res.InjectionStalls++
-					s.trains[w] = t
-					w++
-					continue
-				}
-				t.count--
-				q.push(f)
-				if q.len() > s.res.MaxQueueLen {
-					s.res.MaxQueueLen = q.len()
-				}
-				s.res.RouterTraversals[t.src]++
-				s.inFlight++
-				s.injections++
-				markActive(int(t.src))
-				if t.count > 0 {
-					s.trains[w] = t
-					w++
-				}
-			}
-			s.trains = s.trains[:w]
+		if len(st.trains) > 0 && cycle%cfg.InjectionInterval == 0 {
+			st.inject(cycle)
 		}
-		if s.inFlight == 0 && len(s.trains) == 0 {
+		if inFlight = st.acc.injections - st.acc.exited; inFlight == 0 && len(st.trains) == 0 {
 			s.res.Cycles = cycle
 			break
 		}
-		if s.inFlight == 0 {
+		if inFlight == 0 {
 			// Every queue is empty but trains remain: nothing can happen
 			// until the next injection wave, so fast-forward to it. The
 			// jump is capped at MaxCycles+1 so a wave scheduled past the
@@ -699,84 +662,11 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 			}
 			continue
 		}
-		// Service one flit per output port. Two-phase (collect candidates,
-		// then apply) so a flit moves at most one hop per cycle; with
-		// bounded queues a candidate whose downstream queue is full stays
-		// put (credit-based backpressure), applied in deterministic router
-		// order.
-		slices.Sort(active)
-		candidates = candidates[:0]
-		for _, idx := range active {
-			base := int(idx) * 5
-			for port := 0; port < 5; port++ {
-				q := &s.queues[base+port]
-				if q.len() == 0 {
-					continue
-				}
-				if port == local {
-					s.deliver(q, cycle)
-					continue
-				}
-				candidates = append(candidates, candidate{src: base + port, to: s.neighbor(int(idx), port)})
-			}
-		}
-		for _, m := range candidates {
-			src := &s.queues[m.src]
-			f := src.peek()
-			if s.defects != nil && (f.hops >= s.maxHops || cycle-int(f.injected) > cfg.WatchdogCycles) {
-				// Detour budget exhausted, or the spike has been in flight
-				// longer than the watchdog window (stuck in a traffic jam
-				// against a fault boundary, where deep queues make the hop
-				// TTL glacial): the destination is effectively unreachable;
-				// abandon the spike at this router. The age cap guarantees
-				// faulty-mesh runs terminate whenever queues keep being
-				// serviced; the watchdog covers the remaining case of a full
-				// service stall (true deadlock).
-				src.pop()
-				s.res.Dropped++
-				s.inFlight--
-				continue
-			}
-			port, drop, blocked := s.routePort(m.to, f)
-			if drop {
-				src.pop()
-				s.res.Dropped++
-				s.inFlight--
-				continue
-			}
-			q := &s.queues[m.to*5+port]
-			if cfg.QueueCap > 0 && q.len() >= cfg.QueueCap {
-				s.res.Stalls++
-				continue
-			}
-			src.pop()
-			if blocked {
-				f.detour = uint8(s.detourHops)
-			} else if f.detour > 0 {
-				f.detour--
-			}
-			f.hops++
-			s.res.WireTraversals++
-			q.push(f)
-			if q.len() > s.res.MaxQueueLen {
-				s.res.MaxQueueLen = q.len()
-			}
-			s.res.RouterTraversals[m.to]++
-			markActive(m.to)
-		}
-		// Retire routers whose queues all drained this cycle (newly
-		// activated destinations were appended above and are re-checked
-		// here too, which keeps the list duplicate-free and tight).
-		keep := active[:0]
-		for _, idx := range active {
-			if hasFlits(idx) {
-				keep = append(keep, idx)
-			} else {
-				inActive[idx] = false
-			}
-		}
-		active = keep
+		st.collect(cycle, false)
+		st.apply(cycle, nil, nil)
+		st.retire()
 	}
 
+	s.mergeStrips(st)
 	return s.finish(), nil
 }

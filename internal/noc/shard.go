@@ -1,0 +1,562 @@
+package noc
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+)
+
+// This file implements sharded simulation: the mesh is partitioned into
+// contiguous row strips, each owned by one goroutine running the
+// event-driven engine over its strip, with a conservative barrier between
+// the two phases of every cycle (Booksim-style parallel discrete-event
+// simulation specialized to a deterministic-cycle mesh).
+//
+// Row strips make ownership trivial under row-major indexing: strip k owns
+// the contiguous router range [lo, hi), so the concatenation of per-strip
+// candidate lists in strip order IS the reference's ascending-router
+// service order. Every queue is read and written only by its owning strip:
+//
+//   - Pushes into a strip's queues are performed by the owner — flits
+//     arriving from a neighboring strip are pre-decided by the source
+//     strip during collect (with unbounded queues the move/drop decision
+//     depends only on the flit and static state) and shipped through a
+//     per-(strip-pair, direction) exchange buffer; the owner pushes them
+//     at their exact global-order position.
+//   - Pops of a strip's queues are performed by the owner — a
+//     boundary-crossing candidate keeps a marker in the source strip's own
+//     candidate list, so the pop happens at the same position relative to
+//     same-cycle pushes as in the reference (MaxQueueLen is sensitive to
+//     that interleaving).
+//
+// Cross-strip candidates exist only on Up/Down ports at strip edges
+// (East/West neighbors share the row, hence the strip). A ship from strip
+// k to k+1 sorts before all of k+1's own candidates (its source router
+// index is smaller), and a ship from k to k-1 sorts after all of k-1's own
+// candidates — so the merged apply order per strip is simply
+// [ships-from-above, own candidates, ships-from-below].
+//
+// Bounded queues (QueueCap > 0) are the one case that cannot be
+// pre-decided: whether a flit moves or stalls depends on the destination
+// queue's occupancy at its exact global position, and stall chains can
+// zigzag across strip boundaries. For that configuration the coordinator
+// runs the service-apply phase itself between barriers (injection and the
+// collect/deliver scan still fan out), trading apply-phase parallelism for
+// the bit-identity contract.
+
+// accum collects one strip's share of the running tallies. All fields are
+// either sums or maxes, so merging per-strip accumulators in any order
+// reproduces the sequential engine's totals exactly.
+type accum struct {
+	delivered  int64 // spikes delivered to their destination core
+	dropped    int64 // spikes dropped during the run (injection-time + in-network)
+	injections int64 // spikes that entered the network (successful queue pushes)
+	exited     int64 // resident spikes that left: deliveries + in-network drops
+	latencySum int64
+	wire       int64
+	stalls     int64
+	injStalls  int64
+	maxLatency int
+	maxQueue   int
+}
+
+// stripCand kinds: how the owning strip applies one collected candidate.
+const (
+	candIntra uint8 = iota // destination router in this strip: full apply
+	candShip               // pre-decided boundary move: pop here, push shipped
+	candDrop               // pre-decided boundary drop: pop + account here
+)
+
+// stripCand is one queue head eligible to move this cycle, from the
+// perspective of the strip that owns the source queue.
+type stripCand struct {
+	src  int32 // source queue index in simState.queues
+	to   int32 // destination router (candIntra only)
+	kind uint8
+}
+
+// ship is one pre-decided boundary crossing: the flit (already advanced by
+// its hop) and the destination queue the owning strip must push it into.
+type ship struct {
+	dq int32 // destination queue index in simState.queues
+	f  flit
+}
+
+// strip owns the routers in [lo, hi): their queues, their injection
+// trains, and their active-router worklist. The single-goroutine event
+// engine is a strip spanning the whole mesh.
+type strip struct {
+	s        *simState
+	lo, hi   int     // owned router range [lo, hi)
+	trains   []train // injection trains with src in [lo, hi), original order
+	inActive []bool  // indexed by router-lo
+	active   []int32 // global router indices, sorted at collect
+	cands    []stripCand
+	shipUp   []ship // pushes into the strip above (smaller router indices)
+	shipDown []ship // pushes into the strip below
+	acc      accum
+}
+
+func newStrip(s *simState, lo, hi int) *strip {
+	return &strip{s: s, lo: lo, hi: hi, inActive: make([]bool, hi-lo)}
+}
+
+func (st *strip) markActive(idx int) {
+	if !st.inActive[idx-st.lo] {
+		st.inActive[idx-st.lo] = true
+		st.active = append(st.active, int32(idx))
+	}
+}
+
+func (st *strip) hasFlits(idx int) bool {
+	base := idx * 5
+	for port := 0; port < 5; port++ {
+		if st.s.queues[base+port].len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// inject runs one injection wave over this strip's trains: due spikes enter
+// their source router's queues directly, a full source queue defers the
+// injection, and exhausted trains are compacted out in the same
+// order-preserving pass.
+func (st *strip) inject(cycle int) {
+	s := st.s
+	w := 0
+	for ti := range st.trains {
+		t := st.trains[ti]
+		f := flit{dst: t.dst, injected: int32(cycle), yx: s.orientation(t.src, t.dst)}
+		port, drop, blocked := s.routePort(int(t.src), f)
+		if blocked && !drop {
+			f.detour = uint8(s.detourHops)
+		}
+		if drop {
+			t.count--
+			st.acc.dropped++
+			if t.count > 0 {
+				st.trains[w] = t
+				w++
+			}
+			continue
+		}
+		q := &s.queues[int(t.src)*5+port]
+		if s.cfg.QueueCap > 0 && q.len() >= s.cfg.QueueCap {
+			st.acc.injStalls++
+			st.trains[w] = t
+			w++
+			continue
+		}
+		t.count--
+		q.push(f)
+		if q.len() > st.acc.maxQueue {
+			st.acc.maxQueue = q.len()
+		}
+		s.res.RouterTraversals[t.src]++
+		st.acc.injections++
+		st.markActive(int(t.src))
+		if t.count > 0 {
+			st.trains[w] = t
+			w++
+		}
+	}
+	st.trains = st.trains[:w]
+}
+
+// deliver pops one flit off a local queue and accounts its delivery into
+// the strip's accumulator.
+func (st *strip) deliver(q *queue, cycle int) {
+	f := q.pop()
+	st.acc.delivered++
+	st.acc.exited++
+	lat := int(int32(cycle) - f.injected + 1)
+	st.acc.latencySum += int64(lat)
+	if lat > st.acc.maxLatency {
+		st.acc.maxLatency = lat
+	}
+}
+
+// collect scans this strip's active routers in ascending order, delivering
+// one flit per local queue and gathering one candidate per occupied output
+// port — the strip's slice of the reference's global service order.
+//
+// With preDecide set (sharded, unbounded queues), candidates whose
+// destination lies outside [lo, hi) are resolved immediately: the move or
+// drop depends only on the flit and static state, never on queue
+// occupancy, so the outcome is identical to deciding it at apply time. A
+// moving flit is advanced by its hop and appended to the exchange buffer
+// toward the owning strip; the local candidate list keeps a pop marker at
+// the candidate's position.
+func (st *strip) collect(cycle int, preDecide bool) {
+	s := st.s
+	slices.Sort(st.active)
+	st.cands = st.cands[:0]
+	st.shipUp, st.shipDown = st.shipUp[:0], st.shipDown[:0]
+	for _, idx := range st.active {
+		base := int(idx) * 5
+		for port := 0; port < 5; port++ {
+			q := &s.queues[base+port]
+			if q.len() == 0 {
+				continue
+			}
+			if port == local {
+				st.deliver(q, cycle)
+				continue
+			}
+			to := s.neighbor(int(idx), port)
+			if !preDecide || (to >= st.lo && to < st.hi) {
+				st.cands = append(st.cands, stripCand{src: int32(base + port), to: int32(to), kind: candIntra})
+				continue
+			}
+			f := q.peek()
+			if s.defects != nil && (f.hops >= s.maxHops || cycle-int(f.injected) > s.cfg.WatchdogCycles) {
+				st.cands = append(st.cands, stripCand{src: int32(base + port), kind: candDrop})
+				continue
+			}
+			outPort, drop, blocked := s.routePort(to, f)
+			if drop {
+				st.cands = append(st.cands, stripCand{src: int32(base + port), kind: candDrop})
+				continue
+			}
+			if blocked {
+				f.detour = uint8(s.detourHops)
+			} else if f.detour > 0 {
+				f.detour--
+			}
+			f.hops++
+			sh := ship{dq: int32(to*5 + outPort), f: f}
+			if to < st.lo {
+				st.shipUp = append(st.shipUp, sh)
+			} else {
+				st.shipDown = append(st.shipDown, sh)
+			}
+			st.cands = append(st.cands, stripCand{src: int32(base + port), kind: candShip})
+		}
+	}
+}
+
+// applyCand services one candidate whose destination router is owned by
+// dst: the flit is dropped (detour TTL or fault), stalled (bounded full
+// queue), or moved one hop. In the sharded bounded-queue fallback the
+// coordinator calls this across strips; src and dst queues then may belong
+// to different strips, which is safe because the workers are parked at the
+// barrier.
+func (s *simState) applyCand(c stripCand, cycle int, dst *strip) {
+	src := &s.queues[c.src]
+	f := src.peek()
+	if s.defects != nil && (f.hops >= s.maxHops || cycle-int(f.injected) > s.cfg.WatchdogCycles) {
+		// Detour budget exhausted, or the spike has been in flight
+		// longer than the watchdog window (stuck in a traffic jam
+		// against a fault boundary, where deep queues make the hop
+		// TTL glacial): the destination is effectively unreachable;
+		// abandon the spike at this router. The age cap guarantees
+		// faulty-mesh runs terminate whenever queues keep being
+		// serviced; the watchdog covers the remaining case of a full
+		// service stall (true deadlock).
+		src.pop()
+		dst.acc.dropped++
+		dst.acc.exited++
+		return
+	}
+	port, drop, blocked := s.routePort(int(c.to), f)
+	if drop {
+		src.pop()
+		dst.acc.dropped++
+		dst.acc.exited++
+		return
+	}
+	q := &s.queues[int(c.to)*5+port]
+	if s.cfg.QueueCap > 0 && q.len() >= s.cfg.QueueCap {
+		dst.acc.stalls++
+		return
+	}
+	src.pop()
+	if blocked {
+		f.detour = uint8(s.detourHops)
+	} else if f.detour > 0 {
+		f.detour--
+	}
+	f.hops++
+	dst.acc.wire++
+	q.push(f)
+	if q.len() > dst.acc.maxQueue {
+		dst.acc.maxQueue = q.len()
+	}
+	s.res.RouterTraversals[c.to]++
+	dst.markActive(int(c.to))
+}
+
+// applyShip pushes one pre-decided incoming flit into this strip's queues.
+func (st *strip) applyShip(sh ship) {
+	s := st.s
+	q := &s.queues[sh.dq]
+	q.push(sh.f)
+	if q.len() > st.acc.maxQueue {
+		st.acc.maxQueue = q.len()
+	}
+	to := int(sh.dq) / 5
+	s.res.RouterTraversals[to]++
+	st.markActive(to)
+}
+
+// apply services this strip's merged worklist for one cycle in global
+// candidate order: pushes shipped from the strip above (all of which sort
+// before this strip's own candidates), then the strip's own candidates,
+// then pushes shipped from the strip below.
+func (st *strip) apply(cycle int, fromAbove, fromBelow []ship) {
+	for i := range fromAbove {
+		st.applyShip(fromAbove[i])
+	}
+	for _, c := range st.cands {
+		switch c.kind {
+		case candIntra:
+			st.s.applyCand(c, cycle, st)
+		case candShip:
+			st.s.queues[c.src].pop()
+			st.acc.wire++
+		case candDrop:
+			st.s.queues[c.src].pop()
+			st.acc.dropped++
+			st.acc.exited++
+		}
+	}
+	for i := range fromBelow {
+		st.applyShip(fromBelow[i])
+	}
+}
+
+// retire drops routers whose queues all drained this cycle from the active
+// worklist (newly activated destinations were appended during apply and
+// are re-checked here too, which keeps the list duplicate-free and tight).
+func (st *strip) retire() {
+	keep := st.active[:0]
+	for _, idx := range st.active {
+		if st.hasFlits(int(idx)) {
+			keep = append(keep, idx)
+		} else {
+			st.inActive[int(idx)-st.lo] = false
+		}
+	}
+	st.active = keep
+}
+
+// mergeStrips folds the strips' accumulators into s.res (on top of the
+// injection-time accounting newSimState left there) and returns it. Sums
+// and maxes only, so the merge order cannot change any field.
+func (s *simState) mergeStrips(strips ...*strip) Result {
+	for _, st := range strips {
+		s.res.Delivered += st.acc.delivered
+		s.res.Dropped += st.acc.dropped
+		s.res.WireTraversals += st.acc.wire
+		s.res.Stalls += st.acc.stalls
+		s.res.InjectionStalls += st.acc.injStalls
+		if st.acc.maxLatency > s.res.MaxLatencyCycles {
+			s.res.MaxLatencyCycles = st.acc.maxLatency
+		}
+		if st.acc.maxQueue > s.res.MaxQueueLen {
+			s.res.MaxQueueLen = st.acc.maxQueue
+		}
+		s.latencySum += st.acc.latencySum
+		s.inFlight += st.acc.injections - st.acc.exited
+		s.injections += st.acc.injections
+	}
+	return s.res
+}
+
+// ClampShards bounds a requested shard count to what a mesh supports: at
+// least 1 and at most rows (the sharded engine needs one row strip per
+// shard). CLIs use it to turn a machine-wide default like GOMAXPROCS into
+// a valid Config.Shards for any mesh.
+func ClampShards(n, rows int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > rows {
+		return rows
+	}
+	return n
+}
+
+// Worker phases, coordinated over one barrier each per cycle.
+const (
+	phaseCollect uint8 = iota // inject (when due) + collect/deliver
+	phaseApply                // service the merged candidate order
+)
+
+type phaseCmd struct {
+	cycle  int
+	phase  uint8
+	inject bool
+}
+
+// simulateSharded is the coordinator for Shards >= 2: it owns the cycle
+// loop (limits, watchdog, cancellation, termination and idle fast-forward,
+// all computed from merged per-strip tallies) and drives the worker
+// goroutines through the two phases of each cycle.
+func simulateSharded(ctx context.Context, s *simState) (Result, error) {
+	cfg := s.cfg
+	shards := cfg.Shards
+
+	// Partition rows into contiguous strips, as evenly as possible.
+	strips := make([]*strip, shards)
+	rowToStrip := make([]int, s.mesh.Rows)
+	rowsPer, rem := s.mesh.Rows/shards, s.mesh.Rows%shards
+	r0 := 0
+	for i := range strips {
+		rows := rowsPer
+		if i < rem {
+			rows++
+		}
+		strips[i] = newStrip(s, r0*s.mesh.Cols, (r0+rows)*s.mesh.Cols)
+		for r := r0; r < r0+rows; r++ {
+			rowToStrip[r] = i
+		}
+		r0 += rows
+	}
+	// Distribute the injection schedule by source strip; relative order is
+	// preserved, so every source queue sees the reference's push order.
+	for _, t := range s.trains {
+		st := strips[rowToStrip[int(t.src)/s.mesh.Cols]]
+		st.trains = append(st.trains, t)
+	}
+	s.trains = nil
+
+	// With bounded queues, stall decisions depend on destination-queue
+	// occupancy at the candidate's exact global position, and stall chains
+	// can cross strip boundaries in both directions — the coordinator
+	// applies those sequentially instead.
+	parallelApply := cfg.QueueCap == 0
+
+	var wg sync.WaitGroup
+	cmds := make([]chan phaseCmd, shards)
+	for i := range cmds {
+		cmds[i] = make(chan phaseCmd, 1)
+		go func(i int, st *strip) {
+			for cmd := range cmds[i] {
+				switch cmd.phase {
+				case phaseCollect:
+					if cmd.inject {
+						st.inject(cmd.cycle)
+					}
+					st.collect(cmd.cycle, parallelApply)
+				case phaseApply:
+					var above, below []ship
+					if i > 0 {
+						above = strips[i-1].shipDown
+					}
+					if i < len(strips)-1 {
+						below = strips[i+1].shipUp
+					}
+					st.apply(cmd.cycle, above, below)
+					st.retire()
+				}
+				wg.Done()
+			}
+		}(i, strips[i])
+	}
+	defer func() {
+		for _, c := range cmds {
+			close(c)
+		}
+	}()
+	runPhase := func(cmd phaseCmd) {
+		wg.Add(shards)
+		for _, c := range cmds {
+			c <- cmd
+		}
+		wg.Wait()
+	}
+	pendingTrains := func() int {
+		n := 0
+		for _, st := range strips {
+			n += len(st.trains)
+		}
+		return n
+	}
+
+	lastProgress := int64(-1)
+	lastProgressCycle := 0
+
+	for cycle := 0; ; cycle++ {
+		// Merged tallies as of the end of the previous cycle (workers are
+		// parked at the barrier, so reads are safe).
+		var injections, delivered, dropped, entered, exited int64
+		for _, st := range strips {
+			injections += st.acc.injections
+			delivered += st.acc.delivered
+			dropped += st.acc.dropped
+			entered += st.acc.injections
+			exited += st.acc.exited
+		}
+		inFlight := entered - exited
+		dropped += s.res.Dropped // injection-time setup drops
+		if cycle > cfg.MaxCycles {
+			return s.mergeStrips(strips...), fmt.Errorf("noc: exceeded MaxCycles=%d with %d spikes in flight: %w", cfg.MaxCycles, inFlight, ErrLivelock)
+		}
+		if cycle&2047 == 0 && ctx.Err() != nil {
+			return s.mergeStrips(strips...), fmt.Errorf("noc: %v after %d cycles: %w", ctx.Err(), cycle, ErrCanceled)
+		}
+		if progress := injections + delivered + dropped; progress != lastProgress {
+			lastProgress = progress
+			lastProgressCycle = cycle
+		} else if cycle-lastProgressCycle > cfg.WatchdogCycles {
+			return s.mergeStrips(strips...), fmt.Errorf("noc: no forward progress for %d cycles with %d spikes in flight (delivered %d, dropped %d): %w",
+				cfg.WatchdogCycles, inFlight, delivered, dropped, ErrLivelock)
+		}
+
+		doInject := pendingTrains() > 0 && cycle%cfg.InjectionInterval == 0
+		runPhase(phaseCmd{cycle: cycle, phase: phaseCollect, inject: doInject})
+
+		// Termination and fast-forward use the in-flight count as the
+		// sequential engine sees it at this point: after injection but
+		// before this cycle's deliveries — phase-1 deliveries are excluded
+		// by using the pre-phase exit count. (If it is zero, no queue held
+		// a flit, so the collect pass delivered nothing and found no
+		// candidates; the phases agree exactly.)
+		var enteredNow int64
+		for _, st := range strips {
+			enteredNow += st.acc.injections
+		}
+		afterInject := enteredNow - exited
+		if afterInject == 0 && pendingTrains() == 0 {
+			s.res.Cycles = cycle
+			break
+		}
+		if afterInject == 0 {
+			// Idle fast-forward to the next injection wave — the minimum
+			// next-event cycle across strips, which under a shared
+			// injection interval is the same wave for every strip. Capped
+			// at MaxCycles+1 so a wave scheduled past the cycle limit
+			// still fails exactly where the reference fails.
+			next := (cycle/cfg.InjectionInterval + 1) * cfg.InjectionInterval
+			if next > cfg.MaxCycles+1 {
+				next = cfg.MaxCycles + 1
+			}
+			if next-1 > cycle {
+				cycle = next - 1
+			}
+			continue
+		}
+
+		if parallelApply {
+			runPhase(phaseCmd{cycle: cycle, phase: phaseApply})
+		} else {
+			// Sequential fallback: the per-strip candidate lists
+			// concatenated in strip order are exactly the reference's
+			// ascending-router candidate order.
+			for _, st := range strips {
+				for _, c := range st.cands {
+					s.applyCand(c, cycle, strips[rowToStrip[int(c.to)/s.mesh.Cols]])
+				}
+			}
+			for _, st := range strips {
+				st.retire()
+			}
+		}
+	}
+
+	s.mergeStrips(strips...)
+	return s.finish(), nil
+}
