@@ -7,6 +7,7 @@ package snnmap_test
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -492,8 +493,9 @@ func BenchmarkNoCRouting(b *testing.B) {
 	}
 }
 
-// BenchmarkFDWorkers measures the deterministic parallel build speedup on a
-// larger instance.
+// BenchmarkFDWorkers measures the deterministic parallel FD speedup (build
+// phases plus the selection sweep) on a larger instance, against the
+// full-sort sequential oracle.
 func BenchmarkFDWorkers(b *testing.B) {
 	wl, err := expt.WorkloadByName("DNN_16M")
 	if err != nil {
@@ -503,25 +505,23 @@ func BenchmarkFDWorkers(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, workers := range []int{1, 2} {
-		workers := workers
-		b.Run(workerName(workers), func(b *testing.B) {
+	run := func(name string, cfg mapping.FDConfig) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				pl, err := mapping.InitialPlacement(p, mesh, curve.Hilbert{})
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := mapping.Finetune(p, pl, mapping.FDConfig{Potential: mapping.L2Sq{}, Workers: workers}); err != nil {
+				cfg.Potential = mapping.L2Sq{}
+				if _, err := mapping.Finetune(p, pl, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
-}
-
-func workerName(w int) string {
-	if w == 1 {
-		return "workers=1"
+	run("fullsort", mapping.FDConfig{Workers: 1, FullSort: true})
+	for _, workers := range []int{1, 2, 4} {
+		run(fmt.Sprintf("workers=%d", workers), mapping.FDConfig{Workers: workers})
 	}
-	return "workers=2"
 }

@@ -28,10 +28,11 @@ type RunOptions struct {
 	// Constraints is the capacity baseline Defects' degrade scales apply
 	// to (zero value = unconstrained).
 	Constraints hw.Constraints
-	// Workers fans FD fine-tuning and metrics evaluation out over up to
-	// this many goroutines (0 or 1 = sequential). Results are
-	// bit-identical across worker counts for metrics and deterministic
-	// for FD per mapping.FDConfig's contract.
+	// Workers fans FD fine-tuning (the build phases and the swap sweep's
+	// tension evaluation) and metrics evaluation out over up to this many
+	// goroutines (0 or 1 = sequential). Results are bit-identical across
+	// worker counts for both, per mapping.FDConfig's and
+	// metrics.Options' contracts.
 	Workers int
 	// SimShards partitions NoC simulation runs into this many row-strip
 	// goroutines (0 or 1 = single goroutine). Clamped to the mesh's row

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"time"
 
@@ -46,13 +45,27 @@ type FDConfig struct {
 	// then only differ from healthy ones when dead).
 	Constraints hw.Constraints
 	// Workers parallelizes the O(|E|) build phases (initial forces, the
-	// initial tension queue, and energy accounting) across goroutines.
-	// Results are bit-identical regardless of the value: force cells are
-	// disjoint, the queue's total order fixes the sort, and energy partial
-	// sums are reduced in deterministic chunk order. The swap loop itself
-	// stays sequential, as Algorithm 3 requires. 0 or 1 means sequential
-	// (the paper's single-threaded C++ setting).
+	// initial tension queue, and energy accounting) and the sweep itself:
+	// each iteration's tension recomputation in nextQueue fans out over
+	// index-addressed slots, and the top-λ swap batch is speculatively
+	// pre-evaluated in parallel before the sequential apply phase
+	// (entries whose cells an earlier swap of the same batch touched are
+	// re-evaluated in place, so the executed swap sequence is exactly
+	// Algorithm 3's). Results are bit-identical regardless of the value:
+	// force cells are disjoint, the queue's total order fixes the
+	// consumed prefix, energy partial sums use a fixed chunk layout
+	// reduced in chunk order, and every parallel tension evaluation is a
+	// pure per-pair function. 0 or 1 means sequential (the paper's
+	// single-threaded C++ setting).
 	Workers int
+	// FullSort disables the top-⌈λ·|Q|⌉ partial queue selection and every
+	// sweep-phase parallel path, running the original implementation:
+	// full queue sort per iteration, strictly sequential tension
+	// evaluation. The output is bit-identical either way; the flag exists
+	// as the oracle for the equivalence suite and as the baseline of the
+	// fd-finetune benchmark tier in cmd/bench. Build-phase parallelism
+	// (Workers) is unaffected.
+	FullSort bool
 }
 
 func (c FDConfig) withDefaults() FDConfig {
@@ -152,23 +165,8 @@ func FinetuneContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg F
 		stats.Iterations++
 
 		// Swap the top λ fraction of the queue (lines 17-29).
-		limit := int(math.Ceil(cfg.Lambda * float64(len(queue))))
-		if limit < 1 {
-			limit = 1
-		}
 		e.beginEpoch()
-		for i := 0; i < limit; i++ {
-			if i&8191 == 8191 && ctx.Err() != nil {
-				break // finish the epoch bookkeeping, fail at the loop head
-			}
-			id := queue[i].id
-			t := e.tension(id)
-			stats.TensionChecks++
-			if t > minGain {
-				e.swapPair(id)
-				stats.Swaps++
-			}
-		}
+		e.applyBatch(ctx, queue[:swapLimit(cfg.Lambda, len(queue))], minGain, &stats)
 
 		// Rebuild the queue for the next iteration (lines 30-40): keep all
 		// current pairs, add every pair touching an affected cluster,
@@ -210,32 +208,60 @@ type fdEngine struct {
 	// swap ΔE_s, so the mutual edge — whose length a swap cannot change —
 	// must not be counted).
 	unitCorr float64
+	// lambda is the queue fraction consumed per iteration; the rebuilt
+	// queue only needs its top ⌈λ·|Q|⌉ prefix ordered (selectTop).
+	lambda float64
+	// sweepWorkers is the goroutine count for sweep-phase tension
+	// evaluation (nextQueue recomputation and speculative batch
+	// pre-evaluation); 1 when the run is sequential or FullSort pins the
+	// oracle behavior.
+	sweepWorkers int
+	// fullSort switches finalizeQueue back to the full per-iteration sort
+	// (the equivalence-test oracle).
+	fullSort bool
 
 	// force[idx*4+d] is Force[p][d] of Alg. 3 for the cluster at cell idx
 	// (0 for empty cells and off-mesh directions).
 	force []float64
 
-	// Epoch-stamped membership marks for queue and affected-list dedupe.
+	// Epoch-stamped membership marks for queue and affected-list dedupe,
+	// plus per-cell stamps recording which cells the current epoch's swaps
+	// have touched (speculative-tension invalidation, see batchDirty).
 	pairMark    []int32
 	clusterMark []int32
+	cellStamp   []int32
 	epoch       int32
 	affected    []int32 // clusters affected in the current epoch
+
+	// Reusable sweep scratch: candidate pair ids (nextQueue) and tension
+	// slots (nextQueue recomputation and batch speculation), hoisted here
+	// so steady-state iterations allocate nothing.
+	ids  []int32
+	tens []float64
 }
 
 func newFDEngine(p *pcn.PCN, pl *place.Placement, cfg FDConfig) *fdEngine {
 	mesh := pl.Mesh
+	sweepWorkers := cfg.Workers
+	if sweepWorkers < 1 || cfg.FullSort {
+		sweepWorkers = 1
+	}
 	return &fdEngine{
-		p:           p,
-		und:         p.Undirected(),
-		pl:          pl,
-		mesh:        mesh,
-		pot:         cfg.Potential,
-		defects:     cfg.Defects,
-		cons:        cfg.Constraints,
-		unitCorr:    2 * (cfg.Potential.AtUnit() - cfg.Potential.AtZero()),
-		force:       make([]float64, 4*mesh.Cores()),
-		pairMark:    make([]int32, 2*mesh.Cores()),
-		clusterMark: make([]int32, p.NumClusters),
+		p:            p,
+		und:          p.Undirected(),
+		pl:           pl,
+		mesh:         mesh,
+		pot:          cfg.Potential,
+		defects:      cfg.Defects,
+		cons:         cfg.Constraints,
+		unitCorr:     2 * (cfg.Potential.AtUnit() - cfg.Potential.AtZero()),
+		lambda:       cfg.Lambda,
+		sweepWorkers: sweepWorkers,
+		fullSort:     cfg.FullSort,
+		force:        make([]float64, 4*mesh.Cores()),
+		pairMark:     make([]int32, 2*mesh.Cores()),
+		clusterMark:  make([]int32, p.NumClusters),
+		cellStamp:    make([]int32, mesh.Cores()),
 	}
 }
 
@@ -257,33 +283,48 @@ func (e *fdEngine) systemEnergy(lo, hi int) float64 {
 	return total
 }
 
+// energyChunk is the fixed cluster-range size of one E_s partial sum. The
+// chunk layout depends only on the cluster count — never on the worker
+// count — so reducing the partials in chunk order yields the same float for
+// any FDConfig.Workers even when individual contributions are not exactly
+// representable (the Eq. 25 energy potential).
+const energyChunk = 4096
+
 // systemEnergyParallel computes E_s with the given worker count. Partial
 // sums are produced per fixed chunk and reduced in chunk order, so the
 // result is identical for any worker count.
 func (e *fdEngine) systemEnergyParallel(workers int) float64 {
 	n := e.p.NumClusters
-	if workers <= 1 || n < 4096 {
+	if n <= energyChunk {
 		return e.systemEnergy(0, n)
 	}
-	chunk := (n + workers - 1) / workers
-	partial := make([]float64, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	chunks := (n + energyChunk - 1) / energyChunk
+	partial := make([]float64, chunks)
+	fill := func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			clo := c * energyChunk
+			partial[c] = e.systemEnergy(clo, min(clo+energyChunk, n))
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			partial[w] = e.systemEnergy(lo, hi)
-		}(w, lo, hi)
 	}
-	wg.Wait()
+	if workers <= 1 {
+		fill(0, chunks)
+	} else {
+		per := (chunks + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * per
+			hi := min(lo+per, chunks)
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				fill(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
 	var total float64
 	for _, p := range partial {
 		total += p
@@ -448,6 +489,35 @@ func (e *fdEngine) beginEpoch() {
 	e.affected = e.affected[:0]
 }
 
+// applyBatch executes the swap phase of one iteration (Alg. 3 lines 17-29)
+// on the queue's top-λ prefix. With sweep workers the whole batch's
+// tensions are speculatively evaluated in parallel first; the apply loop —
+// strictly sequential, preserving Algorithm 3's swap order — then consumes
+// a speculated value verbatim unless an earlier swap of the same batch
+// stamped one of the pair's cells, in which case it re-evaluates in place.
+// Either way each entry costs exactly one logical tension check, so
+// FDStats is bit-identical to the sequential oracle.
+func (e *fdEngine) applyBatch(ctx context.Context, batch []pairTension, minGain float64, stats *FDStats) {
+	spec := e.speculate(batch)
+	for i := range batch {
+		if i&8191 == 8191 && ctx.Err() != nil {
+			break // finish the epoch bookkeeping, fail at the loop head
+		}
+		id := batch[i].id
+		var t float64
+		if spec != nil && !e.batchDirty(id) {
+			t = spec[i]
+		} else {
+			t = e.tension(id)
+		}
+		stats.TensionChecks++
+		if t > minGain {
+			e.swapPair(id)
+			stats.Swaps++
+		}
+	}
+}
+
 func (e *fdEngine) markAffected(c int32) {
 	if e.clusterMark[c] != e.epoch {
 		e.clusterMark[c] = e.epoch
@@ -457,7 +527,9 @@ func (e *fdEngine) markAffected(c int32) {
 
 // swapPair executes the swap of pair id (Alg. 3 lines 20-27): exchange the
 // two cells' contents, rebuild their forces, incrementally maintain the
-// forces of every connected cluster, and record affected clusters.
+// forces of every connected cluster, and record affected clusters. Every
+// cell whose occupant or force slots change is stamped with the current
+// epoch so applyBatch knows which speculated tensions the swap invalidated.
 func (e *fdEngine) swapPair(id int32) {
 	a, b, _ := e.pairCells(id)
 	ca, cb := e.pl.ClusterAt[a], e.pl.ClusterAt[b]
@@ -466,6 +538,8 @@ func (e *fdEngine) swapPair(id int32) {
 	e.pl.SwapCores(a, b)
 	e.rebuildForce(a)
 	e.rebuildForce(b)
+	e.cellStamp[a] = e.epoch
+	e.cellStamp[b] = e.epoch
 
 	if ca != place.None {
 		e.maintainNeighbors(ca, cb, pa, pb)
@@ -502,6 +576,7 @@ func (e *fdEngine) maintainNeighbors(moved, other int32, oldPos, newPos geom.Poi
 			e.force[base+int(d)] += w * ((uNew - e.pot.Eval(newDP.Sub(dd))) -
 				(uOld - e.pot.Eval(oldDP.Sub(dd))))
 		}
+		e.cellStamp[pkIdx] = e.epoch
 		e.markAffected(to)
 	}
 }
@@ -527,9 +602,10 @@ func (e *fdEngine) pairsTouching(idx int32, out []int32) []int32 {
 }
 
 // initialQueue builds the first tension queue (Alg. 3 lines 6-13): all
-// adjacent pairs with positive tension, sorted by decreasing tension. The
-// scan parallelizes per cell range; the final total-order sort makes the
-// result independent of the worker count.
+// adjacent pairs with positive tension, ordered by finalizeQueue. The scan
+// parallelizes per cell range (chunks are concatenated in chunk order, so
+// the pre-selection sequence is the cell order either way); the final
+// total-order selection makes the result independent of the worker count.
 func (e *fdEngine) initialQueue(workers int) []pairTension {
 	cores := int32(e.mesh.Cores())
 	scan := func(lo, hi int32) []pairTension {
@@ -574,18 +650,23 @@ func (e *fdEngine) initialQueue(workers int) []pairTension {
 			queue = append(queue, part...)
 		}
 	}
-	sortQueue(queue)
+	e.finalizeQueue(queue)
 	return queue
 }
 
 // nextQueue implements Alg. 3 lines 30-40: start from the current queue,
 // add all pairs touching affected clusters, recompute every tension, drop
-// non-positive pairs, sort.
+// non-positive pairs, order the result (finalizeQueue). Candidate ids are
+// collected sequentially in deterministic order; their tensions — pure
+// per-pair functions of engine state that is frozen for the rest of the
+// iteration — are evaluated into index-addressed slots, in parallel when
+// the sweep has workers and the candidate set is large enough, then
+// filtered sequentially. The rebuilt queue is therefore identical at any
+// worker count.
 func (e *fdEngine) nextQueue(queue []pairTension, minGain float64, checks *int64) []pairTension {
 	// Mark pairs already queued (dedupe epoch shared with pairMark).
-	e.epoch++ // fresh epoch for pair marks; cluster marks are stale now
-	next := queue[:0]
-	ids := make([]int32, 0, len(queue)+4*len(e.affected))
+	e.epoch++ // fresh epoch for pair marks; cluster and cell marks are stale now
+	ids := e.ids[:0]
 	for _, pt := range queue {
 		if e.pairMark[pt.id] != e.epoch {
 			e.pairMark[pt.id] = e.epoch
@@ -601,24 +682,42 @@ func (e *fdEngine) nextQueue(queue []pairTension, minGain float64, checks *int64
 			}
 		}
 	}
-	for _, id := range ids {
-		t := e.tension(id)
-		*checks++
-		if t > minGain {
-			next = append(next, pairTension{id: id, tension: t})
+	e.ids = ids[:0] // keep the grown buffer for the next iteration
+
+	tens := e.tensionScratch(len(ids))
+	if e.sweepWorkers > 1 && len(ids) >= sweepParallelMin {
+		e.parallelRanges(len(ids), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				tens[i] = e.tension(ids[i])
+			}
+		})
+	} else {
+		for i, id := range ids {
+			tens[i] = e.tension(id)
 		}
 	}
-	sortQueue(next)
+	*checks += int64(len(ids))
+
+	next := queue[:0]
+	for i, id := range ids {
+		if tens[i] > minGain {
+			next = append(next, pairTension{id: id, tension: tens[i]})
+		}
+	}
+	e.finalizeQueue(next)
 	return next
 }
 
-// sortQueue orders by decreasing tension, breaking ties by pair id for
-// determinism.
-func sortQueue(q []pairTension) {
-	sort.Slice(q, func(i, j int) bool {
-		if q[i].tension != q[j].tension {
-			return q[i].tension > q[j].tension
-		}
-		return q[i].id < q[j].id
-	})
+// finalizeQueue orders a freshly built queue for the next iteration. Only
+// the FullSort oracle needs the historical full sort: the sweep consumes
+// exactly the top ⌈λ·|Q|⌉ entries in order and nextQueue treats the rest
+// of the queue as an unordered set, so deterministically selecting and
+// sorting that prefix alone (selectTop) leaves the executed swap sequence
+// provably unchanged — see DESIGN.md.
+func (e *fdEngine) finalizeQueue(q []pairTension) {
+	if e.fullSort {
+		sortQueue(q)
+		return
+	}
+	selectTop(q, swapLimit(e.lambda, len(q)))
 }

@@ -16,7 +16,7 @@ import (
 
 // randomPCN builds a random cluster graph with n clusters and ~e directed
 // edges.
-func randomPCN(t *testing.T, seed int64, n, e int) *pcn.PCN {
+func randomPCN(t testing.TB, seed int64, n, e int) *pcn.PCN {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	var b snn.GraphBuilder

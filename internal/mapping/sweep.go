@@ -1,0 +1,74 @@
+package mapping
+
+import "sync"
+
+// sweepParallelMin is the smallest tension-evaluation batch the sweep fans
+// out to goroutines; below it startup cost dominates the evaluations
+// themselves. It is a variable so tests can lower it to drive the parallel
+// paths on meshes small enough to cross-check exhaustively.
+var sweepParallelMin = 2048
+
+// parallelRanges splits [0, n) into one contiguous chunk per sweep worker
+// and runs fn on each chunk concurrently. Chunk boundaries depend only on n
+// and the worker count, and callers write results into index-addressed
+// slots of preallocated slices, so outputs are identical to a sequential
+// pass for any worker count.
+func (e *fdEngine) parallelRanges(n int, fn func(lo, hi int)) {
+	workers := e.sweepWorkers
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// tensionScratch returns the engine's reusable tension buffer resized to n.
+func (e *fdEngine) tensionScratch(n int) []float64 {
+	if cap(e.tens) < n {
+		e.tens = make([]float64, n)
+	}
+	return e.tens[:n]
+}
+
+// speculate evaluates the whole swap batch's tensions in parallel before
+// any swap of the epoch executes, or returns nil when the batch is too
+// small (or the sweep sequential) to be worth fanning out. The values are
+// bit-identical to what the sequential apply loop would compute at entry i
+// as long as no earlier swap of the same batch touched pair i's cells:
+// tension(id) is a pure function of the two cells' occupants and force
+// slots, and nothing mutates engine state during this pre-pass. applyBatch
+// re-evaluates exactly the entries that invariant does not cover (see
+// batchDirty).
+func (e *fdEngine) speculate(batch []pairTension) []float64 {
+	if e.sweepWorkers <= 1 || len(batch) < sweepParallelMin {
+		return nil
+	}
+	spec := e.tensionScratch(len(batch))
+	e.parallelRanges(len(batch), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			spec[i] = e.tension(batch[i].id)
+		}
+	})
+	return spec
+}
+
+// batchDirty reports whether a swap executed earlier in the current epoch
+// invalidated pair id's speculated tension. Every state a tension
+// evaluation reads is local to the pair's two cells — ClusterAt and the
+// four force slots — and every mutation of those stamps the cell
+// (swapPair stamps the swapped cells, maintainNeighbors each updated
+// neighbor cell), so an unstamped pair's speculated value is still exact.
+func (e *fdEngine) batchDirty(id int32) bool {
+	a, b, _ := e.pairCells(id)
+	return e.cellStamp[a] == e.epoch || e.cellStamp[b] == e.epoch
+}
