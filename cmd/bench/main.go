@@ -15,10 +15,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -27,6 +29,7 @@ import (
 	"strings"
 	"testing"
 
+	"snnmap/internal/codec"
 	"snnmap/internal/curve"
 	"snnmap/internal/expt"
 	"snnmap/internal/hw"
@@ -49,6 +52,9 @@ type Record struct {
 	// full-sort FD sweep for fd-finetune/workers=1, or the workers=1 FD
 	// sweep for higher worker counts); 0 when the op has no baseline.
 	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
+	// BytesPerOp reports the payload size of codec operations (the encoded
+	// snapshot size for snapshot-encode/decode); 0 elsewhere.
+	BytesPerOp int64 `json:"bytes_per_op,omitempty"`
 	// Gomaxprocs is the effective GOMAXPROCS when this record was
 	// measured. Worker/shard sweeps recorded on a single-core box
 	// legitimately read ~1.0x; the per-record value keeps that visible
@@ -77,14 +83,20 @@ func main() {
 	}
 
 	rep := Report{Tier: *tier, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
-	add := func(op, workload string, r testing.BenchmarkResult, speedup float64) {
-		rec := Record{Op: op, Workload: workload, NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(), SpeedupVsSequential: speedup, Gomaxprocs: runtime.GOMAXPROCS(0)}
+	addBytes := func(op, workload string, r testing.BenchmarkResult, speedup float64, bytes int64) {
+		rec := Record{Op: op, Workload: workload, NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(), SpeedupVsSequential: speedup, BytesPerOp: bytes, Gomaxprocs: runtime.GOMAXPROCS(0)}
 		rep.Records = append(rep.Records, rec)
 		note := ""
 		if speedup > 0 {
 			note = fmt.Sprintf("  (%.2fx vs sequential)", speedup)
 		}
+		if bytes > 0 {
+			note += fmt.Sprintf("  %d bytes", bytes)
+		}
 		fmt.Fprintf(os.Stderr, "%-28s %-14s %12d ns/op %8d allocs/op%s\n", op, workload, r.NsPerOp(), r.AllocsPerOp(), note)
+	}
+	add := func(op, workload string, r testing.BenchmarkResult, speedup float64) {
+		addBytes(op, workload, r, speedup, 0)
 	}
 
 	// --- Mapping pipeline on a real Table 3 workload ---
@@ -178,6 +190,46 @@ func main() {
 		}
 		add(fmt.Sprintf("fd-finetune/workers=%d", workers), fdWl, r, speedup)
 	}
+
+	// --- Checkpointing: interval-1 snapshot overhead and codec cost ---
+	// fd-finetune/checkpoint=1 reruns the workers=1 sweep with a snapshot
+	// captured (and discarded) every iteration — the worst-case checkpoint
+	// cadence; its speedup field reads the overhead directly (<1x).
+	// snapshot-encode/decode time the on-disk codec on a mid-run snapshot
+	// with its PCN embedded (the self-contained form cmd/snnmap writes),
+	// recording the encoded size in bytes_per_op.
+	ckptRun := benchFD(mapping.FDConfig{Workers: 1, Checkpoint: &mapping.CheckpointConfig{
+		Interval: 1,
+		Fn:       func(*mapping.Snapshot) error { return nil },
+	}})
+	ckptSpeedup := 0.0
+	if fdSeqNs > 0 && ckptRun.NsPerOp() > 0 {
+		ckptSpeedup = float64(fdSeqNs) / float64(ckptRun.NsPerOp())
+	}
+	add("fd-finetune/checkpoint=1", fdWl, ckptRun, ckptSpeedup)
+
+	snap := captureSnapshot(fp, fpl, fdIterCap)
+	var snapBuf bytes.Buffer
+	if err := codec.WriteSnapshot(&snapBuf, snap); err != nil {
+		fatal(err)
+	}
+	snapBytes := int64(snapBuf.Len())
+	addBytes("snapshot-encode", fdWl, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := codec.WriteSnapshot(io.Discard, snap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), 0, snapBytes)
+	addBytes("snapshot-decode", fdWl, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := codec.ReadSnapshot(bytes.NewReader(snapBuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), 0, snapBytes)
 
 	// --- Metrics evaluation: worker sweep on a congestion-heavy graph ---
 	mp, mpl := metricsWorkload(smoke)
@@ -358,6 +410,27 @@ func fdWorkload(side int) (*pcn.PCN, *place.Placement) {
 		fatal(err)
 	}
 	return res.PCN, pl
+}
+
+// captureSnapshot runs the FD workload to its iteration cap and returns the
+// last checkpoint snapshot (with the PCN embedded by the engine).
+func captureSnapshot(p *pcn.PCN, initial *place.Placement, iters int) *mapping.Snapshot {
+	var snap *mapping.Snapshot
+	pl := clonePlacement(initial)
+	if _, err := mapping.Finetune(p, pl, mapping.FDConfig{
+		Potential:     mapping.L2Sq{},
+		MaxIterations: iters,
+		Checkpoint: &mapping.CheckpointConfig{Interval: 1, Fn: func(s *mapping.Snapshot) error {
+			snap = s
+			return nil
+		}},
+	}); err != nil {
+		fatal(err)
+	}
+	if snap == nil {
+		fatal(fmt.Errorf("fd workload converged before the first checkpoint"))
+	}
+	return snap
 }
 
 func clonePlacement(pl *place.Placement) *place.Placement {

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		runs     = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,fig6,fig8,fig9,fig10,fig11,fig12,fig13,sweep,headline,ablation,multicast,faults,all")
+		runs     = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,fig6,fig8,fig9,fig10,fig11,fig12,fig13,sweep,headline,ablation,multicast,faults,recovery,all")
 		scaleStr = flag.String("scale", "small", "workload tier: tiny|small|medium|full")
 		seed     = flag.Int64("seed", 1, "seed for randomized methods")
 		budget   = flag.Duration("budget", 30*time.Second, "wall-clock budget per method run (0 = unlimited)")
@@ -136,6 +136,16 @@ func main() {
 			wl = "LeNet-ImageNet"
 		}
 		if err := expt.FaultSweep(out, wl, []float64{0, 0.01, 0.05, 0.10, 0.20}, 0.02, opts); err != nil {
+			fatal(err)
+		}
+	}
+	if all || want["recovery"] {
+		section("Extension: spare-row redundancy vs per-cluster remap after a row failure")
+		wl := *workload
+		if all && scale < expt.ScaleMedium {
+			wl = "LeNet-ImageNet"
+		}
+		if err := expt.RecoverySweep(out, wl, []int{0, 1, 2}, opts); err != nil {
 			fatal(err)
 		}
 	}

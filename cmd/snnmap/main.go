@@ -15,10 +15,12 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -30,6 +32,7 @@ import (
 	"snnmap/internal/metrics"
 	"snnmap/internal/noc"
 	"snnmap/internal/pcn"
+	"snnmap/internal/place"
 	"snnmap/internal/snn"
 	"snnmap/internal/viz"
 )
@@ -51,6 +54,10 @@ func main() {
 		exportCSV = flag.String("export-csv", "", "write the placement as CSV to this file")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for FD fine-tuning (build phases and the swap sweep) and metrics evaluation (1 = sequential; results are bit-identical at any count)")
 		simShards = flag.Int("sim-shards", runtime.GOMAXPROCS(0), "row-strip goroutines for the NoC simulator (1 = single goroutine; results are bit-identical at any count)")
+		ckptPath  = flag.String("checkpoint", "", "periodically write the fine-tuning state (self-contained snapshot, atomic replace) to this file; continue later with -resume")
+		ckptEvery = flag.Int("checkpoint-every", 32, "iterations between -checkpoint snapshots")
+		resume    = flag.String("resume", "", "resume fine-tuning from a snapshot file written by -checkpoint (bit-identical to the uninterrupted run, at any -workers count)")
+		spareRows = flag.Int("spare-rows", 0, "reserve this many extra mesh rows as hot spares for wholesale row-shift repair (grows the mesh; placement and fine-tuning leave them empty)")
 	)
 	flag.Parse()
 
@@ -99,30 +106,66 @@ func main() {
 		fmt.Printf("defects: %d dead cores, %d degraded, %d failed links on %v\n",
 			defects.NumDead(), defects.NumDegraded(), defects.NumFailedLinks(), mesh)
 	}
-	opts := expt.RunOptions{Seed: *seed, Budget: *budget, Defects: defects, Workers: *workers, SimShards: *simShards}
-	pl, stats, err := m.Run(p, mesh, opts)
-	for errors.Is(err, mapping.ErrUnplaceable) && specFaults {
-		// Spec-based faults: grow the mesh one row/column and re-inject until
-		// the workload fits around the dead cores.
-		side := mesh.Rows + 1
-		if side > 4*mesh.Rows {
-			break
+	cons := hw.Constraints{SpareRows: *spareRows}
+	if *spareRows > 0 {
+		if *faults != "" && !specFaults {
+			fatal(fmt.Errorf("-spare-rows cannot grow the fixed mesh of a defect-map file; use a defect spec instead"))
 		}
-		mesh = hw.MustMesh(side, side)
-		if defects, err = hw.ParseDefectSpec(mesh, *faults); err != nil {
+		// Grow the mesh so the reserved bottom rows do not eat into the
+		// workload's capacity; re-inject spec faults on the grown mesh.
+		mesh = hw.MustMesh(mesh.Rows+*spareRows, mesh.Cols)
+		if specFaults {
+			if defects, err = hw.ParseDefectSpec(mesh, *faults); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("spare rows: %d reserved (mesh grown to %v)\n", *spareRows, mesh)
+	}
+	var ckptCfg *mapping.CheckpointConfig
+	snapsWritten := 0
+	if *ckptPath != "" {
+		ckptCfg = &mapping.CheckpointConfig{Interval: *ckptEvery, Fn: func(s *mapping.Snapshot) error {
+			snapsWritten++
+			return writeSnapshotAtomic(*ckptPath, s)
+		}}
+	}
+	opts := expt.RunOptions{Seed: *seed, Budget: *budget, Defects: defects, Constraints: cons,
+		Workers: *workers, SimShards: *simShards, Checkpoint: ckptCfg}
+	var pl *place.Placement
+	if *resume != "" {
+		if pl, p, mesh, err = resumeRun(*resume, p, defects, cons, ckptCfg, *budget, *workers); err != nil {
 			fatal(err)
 		}
-		opts.Defects = defects
+	} else {
+		var stats expt.MethodStats
 		pl, stats, err = m.Run(p, mesh, opts)
+		for errors.Is(err, mapping.ErrUnplaceable) && specFaults {
+			// Spec-based faults: grow the mesh one row/column and re-inject
+			// until the workload fits around the dead cores (preserving the
+			// spare-row reservation on top of the square usable region).
+			side := mesh.Cols + 1
+			if side > 4*mesh.Cols {
+				break
+			}
+			mesh = hw.MustMesh(side+*spareRows, side)
+			if defects, err = hw.ParseDefectSpec(mesh, *faults); err != nil {
+				fatal(err)
+			}
+			opts.Defects = defects
+			pl, stats, err = m.Run(p, mesh, opts)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		es := ""
+		if stats.EarlyStopped {
+			es = " (early stop)"
+		}
+		fmt.Printf("%s mapped in %v%s\n", m.Name, stats.Elapsed, es)
 	}
-	if err != nil {
-		fatal(err)
+	if *ckptPath != "" && snapsWritten == 0 {
+		fmt.Printf("no checkpoint written: fine-tuning finished before the first %d-iteration interval\n", *ckptEvery)
 	}
-	es := ""
-	if stats.EarlyStopped {
-		es = " (early stop)"
-	}
-	fmt.Printf("%s mapped in %v%s\n", m.Name, stats.Elapsed, es)
 
 	cost := hw.DefaultCostModel()
 	sum := metrics.Evaluate(p, pl, cost, metrics.Options{Workers: *workers})
@@ -226,6 +269,72 @@ func specDeadFrac(spec string) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// resumeRun continues fine-tuning from a snapshot file: the snapshot's
+// embedded PCN (if any) replaces the workload-derived one, the mesh comes
+// from the snapshot's placement, and the run proceeds bit-identically to the
+// uninterrupted original at any -workers count.
+func resumeRun(path string, p *pcn.PCN, defects *hw.DefectMap, cons hw.Constraints, ckpt *mapping.CheckpointConfig, budget time.Duration, workers int) (*place.Placement, *pcn.PCN, hw.Mesh, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, hw.Mesh{}, err
+	}
+	snap, err := codec.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, hw.Mesh{}, err
+	}
+	if snap.PCN != nil {
+		p = snap.PCN
+	}
+	mesh := snap.Placement.Mesh
+	if defects != nil && defects.Mesh() != mesh {
+		return nil, nil, hw.Mesh{}, fmt.Errorf("defect map mesh %v does not match snapshot mesh %v", defects.Mesh(), mesh)
+	}
+	pot, err := mapping.PotentialByName(snap.Potential, hw.DefaultCostModel())
+	if err != nil {
+		return nil, nil, hw.Mesh{}, err
+	}
+	start := time.Now()
+	pl, stats, err := mapping.ResumeFinetune(context.Background(), p, snap, mapping.FDConfig{
+		Potential:   pot,
+		Budget:      budget,
+		Defects:     defects,
+		Constraints: cons,
+		Workers:     workers,
+		Checkpoint:  ckpt,
+	})
+	if err != nil {
+		return nil, nil, hw.Mesh{}, err
+	}
+	fmt.Printf("resumed %s from iteration %d: %d iterations total, converged=%v, in %v (cumulative %v)\n",
+		path, snap.Stats.Iterations, stats.Iterations, stats.Converged, time.Since(start).Round(time.Millisecond), stats.Elapsed.Round(time.Millisecond))
+	return pl, p, mesh, nil
+}
+
+// writeSnapshotAtomic persists a snapshot with crash-safe replace semantics:
+// write to a temp file in the same directory, fsync, then rename over the
+// target — a crash mid-write never corrupts the previous snapshot.
+func writeSnapshotAtomic(path string, s *mapping.Snapshot) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := codec.WriteSnapshot(tmp, s); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func fileExists(path string) bool {

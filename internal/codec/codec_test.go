@@ -13,7 +13,7 @@ import (
 	"snnmap/internal/snn"
 )
 
-func samplePCN(t *testing.T, seed int64, n, e int) *pcn.PCN {
+func samplePCN(t testing.TB, seed int64, n, e int) *pcn.PCN {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	var b snn.GraphBuilder

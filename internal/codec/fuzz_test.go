@@ -82,6 +82,35 @@ func FuzzReadNetJSON(f *testing.F) {
 	})
 }
 
+func FuzzReadSnapshot(f *testing.F) {
+	snap := sampleSnapshot(f, 1)
+	bare := *snap
+	bare.PCN = nil
+	var withPCN, noPCN bytes.Buffer
+	if err := WriteSnapshot(&withPCN, snap); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteSnapshot(&noPCN, &bare); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(withPCN.Bytes())
+	f.Add(noPCN.Bytes())
+	f.Add(withPCN.Bytes()[:len(withPCN.Bytes())/2])
+	f.Add(noPCN.Bytes()[:20])
+	f.Add([]byte("SNNCKP99version-skew"))
+	f.Add([]byte("SNNCKP01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if vErr := q.Validate(); vErr != nil {
+			t.Fatalf("decoder accepted an invalid snapshot: %v", vErr)
+		}
+	})
+}
+
 // samplePCNForFuzz builds a small deterministic PCN without *testing.T.
 func samplePCNForFuzz(f *testing.F) *pcn.PCN {
 	f.Helper()

@@ -39,6 +39,10 @@ type RunOptions struct {
 	// count; results are bit-identical at any shard count per
 	// noc.Config.Shards' contract.
 	SimShards int
+	// Checkpoint, when non-nil, is passed to FD fine-tuning so method runs
+	// snapshot their progress (mapping.FDConfig.Checkpoint). Methods
+	// without an FD phase ignore it.
+	Checkpoint *mapping.CheckpointConfig
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -92,6 +96,7 @@ func fdMethod(name string, c curve.Curve, pot func(hw.CostModel) mapping.Potenti
 			Defects:     opts.Defects,
 			Constraints: opts.Constraints,
 			Workers:     opts.Workers,
+			Checkpoint:  opts.Checkpoint,
 		})
 		if err != nil {
 			return nil, MethodStats{}, err

@@ -62,6 +62,25 @@ type Constraints struct {
 	// SynapsesPerCore is CON_spc, the maximum number of synapses a core can
 	// store. Zero means unconstrained.
 	SynapsesPerCore int
+	// SpareRows reserves this many rows at the bottom of the mesh as hot
+	// spares, the way DRAM and wafer-scale parts provision redundancy:
+	// placement and fine-tuning never use reserved rows, keeping them free
+	// so a failed row can later be retired wholesale onto one of them
+	// (mapping.RemapRows). Zero means no reservation.
+	SpareRows int
+}
+
+// UsableRows returns how many mesh rows remain available for placement
+// under the SpareRows reservation (never negative). With no reservation it
+// is the full row count.
+func (c Constraints) UsableRows(m Mesh) int {
+	if c.SpareRows <= 0 {
+		return m.Rows
+	}
+	if c.SpareRows >= m.Rows {
+		return 0
+	}
+	return m.Rows - c.SpareRows
 }
 
 // FitsNeurons reports whether a cluster with the given neuron count respects

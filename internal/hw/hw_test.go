@@ -156,3 +156,32 @@ func TestPlatformsTable1(t *testing.T) {
 		}
 	}
 }
+
+func TestUsableRows(t *testing.T) {
+	m := MustMesh(8, 6)
+	for _, tc := range []struct {
+		spare, want int
+	}{
+		{0, 8},
+		{-3, 8}, // negative reads as no reservation
+		{2, 6},
+		{7, 1},
+		{8, 0},  // reserving everything leaves nothing
+		{20, 0}, // over-reservation clamps, never negative
+	} {
+		if got := (Constraints{SpareRows: tc.spare}).UsableRows(m); got != tc.want {
+			t.Errorf("SpareRows=%d: UsableRows = %d, want %d", tc.spare, got, tc.want)
+		}
+	}
+}
+
+func TestScalePreservesSpareRows(t *testing.T) {
+	c := Constraints{NeuronsPerCore: 100, SynapsesPerCore: 1000, SpareRows: 3}
+	s := c.Scale(0.5)
+	if s.SpareRows != 3 {
+		t.Errorf("Scale dropped SpareRows: %+v", s)
+	}
+	if s.NeuronsPerCore != 50 || s.SynapsesPerCore != 500 {
+		t.Errorf("Scale(0.5) = %+v", s)
+	}
+}

@@ -2,6 +2,7 @@ package mapping
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -66,19 +67,73 @@ type FDConfig struct {
 	// fd-finetune benchmark tier in cmd/bench. Build-phase parallelism
 	// (Workers) is unaffected.
 	FullSort bool
+	// Checkpoint, when non-nil, snapshots the fine-tuning state so an
+	// interrupted run can continue with ResumeFinetune instead of
+	// restarting. Snapshots are taken at iteration boundaries only, where
+	// the engine state is exactly a loop-head state — the invariant that
+	// makes resumption bit-identical to the uninterrupted run.
+	Checkpoint *CheckpointConfig
+}
+
+// CheckpointConfig configures FDConfig.Checkpoint hooks.
+type CheckpointConfig struct {
+	// Interval takes a snapshot at the head of every Interval-th completed
+	// iteration. Zero snapshots only on cancellation (every canceled run
+	// with a non-nil Fn still receives one final snapshot, so the caller
+	// always holds a resumable state).
+	Interval int
+	// Fn receives each snapshot. The snapshot is a deep copy — it stays
+	// valid after Finetune returns and across further iterations. A non-nil
+	// error aborts the run and is returned to the caller.
+	Fn func(*Snapshot) error
 }
 
 func (c FDConfig) withDefaults() FDConfig {
 	if c.Potential == nil {
 		c.Potential = L2Sq{}
 	}
-	if c.Lambda <= 0 {
+	if c.Lambda == 0 {
 		c.Lambda = 0.3
 	}
-	if c.Lambda > 1 {
-		c.Lambda = 1
-	}
 	return c
+}
+
+// Validate checks the configuration, returning an error wrapping
+// ErrBadConfig on the first problem. Finetune and FinetuneContext call it
+// after resolving defaults, so the zero values (nil Potential, Lambda 0)
+// never reach it from those paths; validating a raw FDConfig directly
+// reports them as invalid.
+func (c FDConfig) Validate() error {
+	if c.Potential == nil {
+		return fmt.Errorf("%w: nil potential", ErrBadConfig)
+	}
+	if math.IsNaN(c.Lambda) || c.Lambda <= 0 || c.Lambda > 1 {
+		return fmt.Errorf("%w: lambda %g outside (0, 1]", ErrBadConfig, c.Lambda)
+	}
+	if math.IsNaN(c.MinGain) || c.MinGain < 0 {
+		return fmt.Errorf("%w: negative MinGain %g", ErrBadConfig, c.MinGain)
+	}
+	if c.MaxIterations < 0 {
+		return fmt.Errorf("%w: negative MaxIterations %d", ErrBadConfig, c.MaxIterations)
+	}
+	if c.Budget < 0 {
+		return fmt.Errorf("%w: negative Budget %v", ErrBadConfig, c.Budget)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("%w: negative Workers %d", ErrBadConfig, c.Workers)
+	}
+	if c.Constraints.SpareRows < 0 {
+		return fmt.Errorf("%w: negative SpareRows %d", ErrBadConfig, c.Constraints.SpareRows)
+	}
+	if c.Checkpoint != nil {
+		if c.Checkpoint.Interval < 0 {
+			return fmt.Errorf("%w: negative checkpoint interval %d", ErrBadConfig, c.Checkpoint.Interval)
+		}
+		if c.Checkpoint.Fn == nil {
+			return fmt.Errorf("%w: checkpoint config without a Fn callback", ErrBadConfig)
+		}
+	}
+	return nil
 }
 
 // effectiveMinGain resolves the adaptive MinGain default against the
@@ -125,6 +180,9 @@ func Finetune(p *pcn.PCN, pl *place.Placement, cfg FDConfig) (FDStats, error) {
 // far) when the context is done.
 func FinetuneContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg FDConfig) (FDStats, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return FDStats{}, fmt.Errorf("mapping: finetune: %w", err)
+	}
 	if err := ctx.Err(); err != nil {
 		return FDStats{}, fmt.Errorf("mapping: finetune: %v: %w", err, ErrCanceled)
 	}
@@ -145,10 +203,31 @@ func FinetuneContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg F
 	// Build the initial tension queue (lines 6-13).
 	queue := e.initialQueue(workers)
 
+	return e.run(ctx, cfg, queue, stats, minGain, start, 0)
+}
+
+// run drives the iteration loop from a loop-head state: either the freshly
+// built one (FinetuneContext) or one restored from a Snapshot
+// (ResumeFinetune). prior is wall-clock time already accumulated by earlier
+// runs of the same job; it is folded into Elapsed so a resumed job reports
+// cumulative statistics. Snapshots — both the interval-driven ones and the
+// final cancellation snapshot — are only ever taken here at the loop head,
+// where (placement, force array, ordered queue, stats, minGain) fully
+// determine the rest of the run; that is the resume bit-identity invariant
+// (see DESIGN.md).
+func (e *fdEngine) run(ctx context.Context, cfg FDConfig, queue []pairTension, stats FDStats, minGain float64, start time.Time, prior time.Duration) (FDStats, error) {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	deadline := time.Time{}
 	if cfg.Budget > 0 {
 		deadline = start.Add(cfg.Budget)
 	}
+	ckpt := cfg.Checkpoint
+	// A run resumed from the snapshot of iteration k must not immediately
+	// re-emit snapshot k.
+	lastSnap := stats.Iterations
 
 	for len(queue) > 0 {
 		if cfg.MaxIterations > 0 && stats.Iterations >= cfg.MaxIterations {
@@ -159,8 +238,24 @@ func FinetuneContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg F
 		}
 		if err := ctx.Err(); err != nil {
 			stats.FinalEnergy = e.systemEnergyParallel(workers)
-			stats.Elapsed = time.Since(start)
-			return stats, fmt.Errorf("mapping: finetune: %v: %w", err, ErrCanceled)
+			stats.Elapsed = prior + time.Since(start)
+			cerr := fmt.Errorf("mapping: finetune: %v: %w", err, ErrCanceled)
+			if ckpt != nil && ckpt.Fn != nil {
+				if serr := ckpt.Fn(e.snapshot(queue, stats, minGain)); serr != nil {
+					return stats, errors.Join(cerr, fmt.Errorf("mapping: finetune: cancellation snapshot: %w", serr))
+				}
+			}
+			return stats, cerr
+		}
+		if ckpt != nil && ckpt.Fn != nil && ckpt.Interval > 0 &&
+			stats.Iterations > lastSnap && stats.Iterations%ckpt.Interval == 0 {
+			lastSnap = stats.Iterations
+			snapStats := stats
+			snapStats.FinalEnergy = e.systemEnergyParallel(workers)
+			snapStats.Elapsed = prior + time.Since(start)
+			if err := ckpt.Fn(e.snapshot(queue, snapStats, minGain)); err != nil {
+				return snapStats, fmt.Errorf("mapping: finetune: checkpoint at iteration %d: %w", stats.Iterations, err)
+			}
 		}
 		stats.Iterations++
 
@@ -176,7 +271,7 @@ func FinetuneContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg F
 
 	stats.Converged = len(queue) == 0
 	stats.FinalEnergy = e.systemEnergyParallel(workers)
-	stats.Elapsed = time.Since(start)
+	stats.Elapsed = prior + time.Since(start)
 	return stats, nil
 }
 
@@ -219,6 +314,11 @@ type fdEngine struct {
 	// fullSort switches finalizeQueue back to the full per-iteration sort
 	// (the equivalence-test oracle).
 	fullSort bool
+	// spareStart is the first mesh row reserved as a hot spare
+	// (Constraints.SpareRows); pairs reaching into a reserved row report
+	// zero tension so fine-tuning never occupies the spares. Equal to
+	// mesh.Rows when there is no reservation.
+	spareStart int32
 
 	// force[idx*4+d] is Force[p][d] of Alg. 3 for the cluster at cell idx
 	// (0 for empty cells and off-mesh directions).
@@ -258,6 +358,7 @@ func newFDEngine(p *pcn.PCN, pl *place.Placement, cfg FDConfig) *fdEngine {
 		lambda:       cfg.Lambda,
 		sweepWorkers: sweepWorkers,
 		fullSort:     cfg.FullSort,
+		spareStart:   int32(cfg.Constraints.UsableRows(mesh)),
 		force:        make([]float64, 4*mesh.Cores()),
 		pairMark:     make([]int32, 2*mesh.Cores()),
 		clusterMark:  make([]int32, p.NumClusters),
@@ -438,9 +539,17 @@ func (e *fdEngine) mutualWeight(c1, c2 int32) float64 {
 }
 
 // blocked reports whether the swap of pair id is illegal on the defective
-// mesh: it touches a dead cell, or would move a cluster onto a degraded cell
-// it does not fit.
+// mesh: it reaches into a reserved spare row, touches a dead cell, or would
+// move a cluster onto a degraded cell it does not fit.
 func (e *fdEngine) blocked(id int32) bool {
+	if e.spareStart < int32(e.mesh.Rows) {
+		// For both pair orientations (right, down) cell b has the larger
+		// row, so only b can cross into the reserved bottom rows.
+		_, b, _ := e.pairCells(id)
+		if b/int32(e.mesh.Cols) >= e.spareStart {
+			return true
+		}
+	}
 	if e.defects == nil {
 		return false
 	}

@@ -23,13 +23,24 @@ func InitialPlacement(p *pcn.PCN, mesh hw.Mesh, c curve.Curve) (*place.Placement
 // order is preserved, but dead cells are skipped along it (so locality
 // degrades gracefully instead of collapsing), and — when cons is constrained
 // — capacity-degraded cells that cannot hold the next cluster are left
-// empty. It returns an error wrapping place.ErrUnplaceable when the healthy
-// mesh cannot hold the PCN.
+// empty. When cons.SpareRows reserves bottom rows as hot spares, the curve
+// skips those rows too, leaving them free for RemapRows. It returns an error
+// wrapping place.ErrUnplaceable when the healthy usable mesh cannot hold the
+// PCN.
 func InitialPlacementDefects(p *pcn.PCN, mesh hw.Mesh, c curve.Curve, d *hw.DefectMap, cons hw.Constraints) (*place.Placement, error) {
-	healthy := mesh.Cores() - d.NumDead()
+	if cons.SpareRows < 0 {
+		return nil, fmt.Errorf("mapping: %w: negative SpareRows %d", place.ErrBadConfig, cons.SpareRows)
+	}
+	usableRows := cons.UsableRows(mesh)
+	healthy := usableRows * mesh.Cols
+	for idx := 0; idx < usableRows*mesh.Cols; idx++ {
+		if d.IsDead(idx) {
+			healthy--
+		}
+	}
 	if p.NumClusters > healthy {
-		return nil, fmt.Errorf("mapping: %d clusters exceed %v mesh healthy capacity %d (%d dead cores): %w",
-			p.NumClusters, mesh, healthy, d.NumDead(), place.ErrUnplaceable)
+		return nil, fmt.Errorf("mapping: %d clusters exceed %v mesh healthy capacity %d (%d usable rows, %d dead cores): %w",
+			p.NumClusters, mesh, healthy, usableRows, d.NumDead(), place.ErrUnplaceable)
 	}
 	order := toposort.Order(p)
 	pts := c.Points(mesh.Rows, mesh.Cols)
@@ -41,6 +52,9 @@ func InitialPlacementDefects(p *pcn.PCN, mesh hw.Mesh, c curve.Curve, d *hw.Defe
 	for _, pt := range pts {
 		if j >= len(order) {
 			break
+		}
+		if pt.X >= usableRows {
+			continue // reserved spare row
 		}
 		idx := mesh.Index(pt)
 		if d.IsDead(idx) {

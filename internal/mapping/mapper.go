@@ -20,6 +20,9 @@ var (
 	ErrUnplaceable = place.ErrUnplaceable
 	// ErrCanceled reports that the caller's context canceled the operation.
 	ErrCanceled = place.ErrCanceled
+	// ErrBadConfig reports an invalid FDConfig (see FDConfig.Validate) or a
+	// resume whose config/PCN does not match its snapshot.
+	ErrBadConfig = place.ErrBadConfig
 )
 
 // Config describes one complete mapping pipeline: an initial placement
@@ -59,6 +62,11 @@ type Result struct {
 	FD FDStats
 	// Polish holds second-phase statistics (zero value when disabled).
 	Polish FDStats
+	// Snapshot is the latest fine-tuning snapshot when a phase failed
+	// mid-run (always set on cancellation, even without a user Checkpoint
+	// config, so the caller holds a resumable state alongside ErrCanceled);
+	// nil on success.
+	Snapshot *Snapshot
 	// Elapsed is the total mapping wall-clock time (initial placement plus
 	// fine-tuning), the "algorithm execution time" metric of §5.1.4.
 	Elapsed time.Duration
@@ -98,11 +106,31 @@ func MapContext(ctx context.Context, p *pcn.PCN, mesh hw.Mesh, cfg Config) (Resu
 			fdcfg.Defects = cfg.Defects
 			fdcfg.Constraints = cfg.Constraints
 		}
+		if err := fdcfg.withDefaults().Validate(); err != nil {
+			return res, fmt.Errorf("mapping: %s: %w", phase.name, err)
+		}
+		// Tee the phase's checkpoints so the latest snapshot rides along
+		// with any error; the wrapper alone (user Interval 0, nil user Fn)
+		// still captures the cancellation snapshot every canceled run emits.
+		user := fdcfg.Checkpoint
+		wrapped := CheckpointConfig{Fn: func(s *Snapshot) error {
+			res.Snapshot = s
+			if user != nil && user.Fn != nil {
+				return user.Fn(s)
+			}
+			return nil
+		}}
+		if user != nil {
+			wrapped.Interval = user.Interval
+		}
+		fdcfg.Checkpoint = &wrapped
 		*phase.out, err = FinetuneContext(ctx, p, pl, fdcfg)
 		if err != nil {
-			return Result{}, fmt.Errorf("mapping: %s: %w", phase.name, err)
+			res.Elapsed = time.Since(start)
+			return res, fmt.Errorf("mapping: %s: %w", phase.name, err)
 		}
 	}
+	res.Snapshot = nil
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -41,8 +41,10 @@ import (
 
 // Sentinel errors raised by the simulator.
 var (
-	// ErrBadConfig reports an invalid Config (see Config.Validate).
-	ErrBadConfig = errors.New("noc: invalid config")
+	// ErrBadConfig reports an invalid Config (see Config.Validate). It is
+	// the shared place.ErrBadConfig sentinel, so errors.Is matches
+	// configuration errors from any pipeline package.
+	ErrBadConfig = place.ErrBadConfig
 	// ErrLivelock reports that the simulation stopped making forward
 	// progress (or exceeded MaxCycles) with spikes still in flight.
 	ErrLivelock = errors.New("noc: livelock")

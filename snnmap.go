@@ -122,6 +122,11 @@ type (
 	FDConfig = mapping.FDConfig
 	// FDStats reports one fine-tuning run.
 	FDStats = mapping.FDStats
+	// CheckpointConfig configures interval-based fine-tuning snapshots
+	// (FDConfig.Checkpoint).
+	CheckpointConfig = mapping.CheckpointConfig
+	// FDSnapshot is a resumable loop-head state of a fine-tuning run.
+	FDSnapshot = mapping.Snapshot
 	// MapResult is Map's output.
 	MapResult = mapping.Result
 	// Placement assigns clusters to cores (Eq. 7).
@@ -188,6 +193,13 @@ func Finetune(p *PCN, pl *Placement, cfg FDConfig) (FDStats, error) {
 // FinetuneContext is Finetune with cooperative cancellation.
 func FinetuneContext(ctx context.Context, p *PCN, pl *Placement, cfg FDConfig) (FDStats, error) {
 	return mapping.FinetuneContext(ctx, p, pl, cfg)
+}
+
+// ResumeFinetune continues an interrupted fine-tuning run from a snapshot,
+// bit-identically to the uninterrupted run at any Workers count. p may be
+// nil when the snapshot embeds its PCN.
+func ResumeFinetune(ctx context.Context, p *PCN, snap *FDSnapshot, cfg FDConfig) (*Placement, FDStats, error) {
+	return mapping.ResumeFinetune(ctx, p, snap, cfg)
 }
 
 // MeshFor returns the smallest square mesh holding n clusters (the paper's
@@ -288,6 +300,8 @@ type (
 	DefectMap = hw.DefectMap
 	// RemapStats reports an incremental post-failure repair.
 	RemapStats = mapping.RemapStats
+	// RowRemapStats reports a wholesale row-shift repair.
+	RowRemapStats = mapping.RowRemapStats
 	// Degradation summarizes how gracefully a placement degrades on a
 	// defective mesh.
 	Degradation = metrics.Degradation
@@ -304,8 +318,9 @@ var (
 	ErrCanceled = place.ErrCanceled
 	// ErrLivelock reports a NoC simulation that stopped making progress.
 	ErrLivelock = noc.ErrLivelock
-	// ErrBadConfig reports an invalid NoC simulator configuration.
-	ErrBadConfig = noc.ErrBadConfig
+	// ErrBadConfig reports an invalid configuration (NoC simulator or FD
+	// fine-tuning) or a resume whose config does not match its snapshot.
+	ErrBadConfig = place.ErrBadConfig
 )
 
 // NewDefectMap returns an all-healthy defect map for the mesh.
@@ -346,6 +361,15 @@ func LoadDefectMap(r io.Reader) (*DefectMap, error) { return hw.ReadDefectMap(r)
 // healthy free core that fits.
 func Remap(p *PCN, pl *Placement, d *DefectMap, cons Constraints, cost CostModel) (RemapStats, error) {
 	return mapping.Remap(p, pl, d, cons, cost)
+}
+
+// RemapRows repairs a placement with wholesale row-shift redundancy: each
+// failed row migrates onto a fully-free row (reserved via
+// Constraints.SpareRows, or any row that happens to be empty) in one
+// operation, falling back to per-cluster Remap migration when no spare
+// accepts it.
+func RemapRows(p *PCN, pl *Placement, d *DefectMap, cons Constraints, cost CostModel) (RowRemapStats, error) {
+	return mapping.RemapRows(p, pl, d, cons, cost)
 }
 
 // EvaluateDegradation computes the structural degradation metrics of a
@@ -470,6 +494,13 @@ func SavePlacement(w io.Writer, pl *Placement) error { return codec.WritePlaceme
 
 // LoadPlacement reads a placement written by SavePlacement.
 func LoadPlacement(r io.Reader) (*Placement, error) { return codec.ReadPlacement(r) }
+
+// SaveSnapshot writes a fine-tuning snapshot in the versioned binary format,
+// embedding its PCN when snap.PCN is non-nil.
+func SaveSnapshot(w io.Writer, snap *FDSnapshot) error { return codec.WriteSnapshot(w, snap) }
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot and validates it.
+func LoadSnapshot(r io.Reader) (*FDSnapshot, error) { return codec.ReadSnapshot(r) }
 
 // ExportDOT writes the PCN as a Graphviz digraph (maxEdges 0 = 10 000).
 func ExportDOT(w io.Writer, p *PCN, maxEdges int) error { return codec.WriteDOT(w, p, maxEdges) }
