@@ -19,11 +19,12 @@ import (
 	"time"
 
 	"snnmap/internal/expt"
+	"snnmap/internal/pcn"
 )
 
 func main() {
 	var (
-		runs     = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,fig6,fig8,fig9,fig10,fig11,fig12,fig13,sweep,headline,ablation,multicast,faults,recovery,all")
+		runs     = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,fig6,fig8,fig9,fig10,fig11,fig12,fig13,sweep,headline,ablation,multicast,faults,recovery,partquality,all")
 		scaleStr = flag.String("scale", "small", "workload tier: tiny|small|medium|full")
 		seed     = flag.Int64("seed", 1, "seed for randomized methods")
 		budget   = flag.Duration("budget", 30*time.Second, "wall-clock budget per method run (0 = unlimited)")
@@ -31,6 +32,7 @@ func main() {
 		progress = flag.Bool("progress", true, "print per-run progress lines during sweeps")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for FD fine-tuning (build phases and the swap sweep) and metrics evaluation (1 = sequential; results are bit-identical at any count)")
 		simShards = flag.Int("sim-shards", runtime.GOMAXPROCS(0), "row-strip goroutines for the NoC simulator (1 = single goroutine; results are bit-identical at any count)")
+		partitioner = flag.String("partitioner", "flat", "partitioning scheme: flat (Algorithm 1) or multilevel (coarsen-partition-uncoarsen)")
 	)
 	flag.Parse()
 
@@ -39,6 +41,15 @@ func main() {
 		fatal(err)
 	}
 	opts := expt.RunOptions{Seed: *seed, Budget: *budget, Workers: *workers, SimShards: *simShards}
+	switch *partitioner {
+	case "flat":
+	case "multilevel":
+		ml := pcn.DefaultMultilevel()
+		ml.Workers = *workers
+		opts.Multilevel = ml
+	default:
+		fatal(fmt.Errorf("unknown -partitioner %q (flat|multilevel)", *partitioner))
+	}
 
 	want := map[string]bool{}
 	for _, r := range strings.Split(*runs, ",") {
@@ -146,6 +157,12 @@ func main() {
 			wl = "LeNet-ImageNet"
 		}
 		if err := expt.RecoverySweep(out, wl, []int{0, 1, 2}, opts); err != nil {
+			fatal(err)
+		}
+	}
+	if all || want["partquality"] {
+		section("Partition quality: flat Algorithm 1 vs multilevel")
+		if err := expt.PartQuality(out, scale, opts); err != nil {
 			fatal(err)
 		}
 	}

@@ -58,8 +58,19 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 32, "iterations between -checkpoint snapshots")
 		resume    = flag.String("resume", "", "resume fine-tuning from a snapshot file written by -checkpoint (bit-identical to the uninterrupted run, at any -workers count)")
 		spareRows = flag.Int("spare-rows", 0, "reserve this many extra mesh rows as hot spares for wholesale row-shift repair (grows the mesh; placement and fine-tuning leave them empty)")
+		partitioner = flag.String("partitioner", "flat", "partitioning scheme: flat (Algorithm 1) or multilevel (coarsen-partition-uncoarsen; deterministic at any -workers count)")
 	)
 	flag.Parse()
+
+	var mlOpts *pcn.MultilevelOptions
+	switch *partitioner {
+	case "flat":
+	case "multilevel":
+		mlOpts = pcn.DefaultMultilevel()
+		mlOpts.Workers = *workers
+	default:
+		fatal(fmt.Errorf("unknown -partitioner %q (flat|multilevel)", *partitioner))
+	}
 
 	var (
 		p    *pcn.PCN
@@ -76,7 +87,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if p, err = pcn.Expand(net, pcn.DefaultPartition()); err != nil {
+		cfg := pcn.DefaultPartition()
+		cfg.Multilevel = mlOpts
+		if p, err = pcn.Expand(net, cfg); err != nil {
 			fatal(err)
 		}
 		mesh = expt.MeshFor(p.NumClusters)
@@ -85,7 +98,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if p, mesh, err = wl.Build(); err != nil {
+		if mlOpts != nil {
+			p, mesh, err = wl.BuildMultilevel(mlOpts)
+		} else {
+			p, mesh, err = wl.Build()
+		}
+		if err != nil {
 			fatal(err)
 		}
 		net = wl.Net()

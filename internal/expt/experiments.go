@@ -135,7 +135,7 @@ func Fig8(w io.Writer, workload string, opts RunOptions) error {
 	if err != nil {
 		return err
 	}
-	p, mesh, err := wl.Build()
+	p, mesh, err := buildFor(wl, opts)
 	if err != nil {
 		return err
 	}
@@ -180,7 +180,7 @@ func Sweep(scale Scale, opts RunOptions, progress io.Writer) ([]SweepRow, error)
 	opts = opts.withDefaults()
 	var rows []SweepRow
 	for _, wl := range Workloads(scale) {
-		p, mesh, err := wl.Build()
+		p, mesh, err := buildFor(wl, opts)
 		if err != nil {
 			return nil, fmt.Errorf("build %s: %w", wl.Name, err)
 		}
@@ -306,7 +306,7 @@ func Headline(w io.Writer, workload string, opts RunOptions) error {
 	if err != nil {
 		return err
 	}
-	p, mesh, err := wl.Build()
+	p, mesh, err := buildFor(wl, opts)
 	if err != nil {
 		return err
 	}
@@ -331,7 +331,7 @@ func Ablation(w io.Writer, workload string, opts RunOptions) error {
 	if err != nil {
 		return err
 	}
-	p, mesh, err := wl.Build()
+	p, mesh, err := buildFor(wl, opts)
 	if err != nil {
 		return err
 	}
@@ -391,7 +391,7 @@ func Multicast(w io.Writer, scale Scale, opts RunOptions) error {
 	fmt.Fprintln(tw, "Workload\tUnicast energy\tMulticast energy\tSaving")
 	m := Proposed()
 	for _, wl := range Workloads(scale) {
-		p, mesh, err := wl.Build()
+		p, mesh, err := buildFor(wl, opts)
 		if err != nil {
 			return fmt.Errorf("build %s: %w", wl.Name, err)
 		}

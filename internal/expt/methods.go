@@ -43,6 +43,10 @@ type RunOptions struct {
 	// snapshot their progress (mapping.FDConfig.Checkpoint). Methods
 	// without an FD phase ignore it.
 	Checkpoint *mapping.CheckpointConfig
+	// Multilevel, when non-nil, partitions workloads with the multilevel
+	// coarsen–partition–uncoarsen scheme instead of the flat Algorithm 1
+	// pipeline (-partitioner=multilevel on the CLIs).
+	Multilevel *pcn.MultilevelOptions
 }
 
 func (o RunOptions) withDefaults() RunOptions {

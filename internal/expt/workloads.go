@@ -86,6 +86,32 @@ func (w *Workload) Build() (*pcn.PCN, hw.Mesh, error) {
 	return w.pcn, w.mesh, w.err
 }
 
+// BuildMultilevel expands the workload with the multilevel partitioner
+// (uncached: multilevel runs are configuration-dependent, unlike the shared
+// flat Build).
+func (w *Workload) BuildMultilevel(opts *pcn.MultilevelOptions) (*pcn.PCN, hw.Mesh, error) {
+	cfg := pcn.DefaultPartition()
+	cfg.Multilevel = opts
+	if cfg.Multilevel == nil {
+		cfg.Multilevel = pcn.DefaultMultilevel()
+	}
+	p, _, err := pcn.ExpandMultilevel(w.Net(), cfg)
+	if err != nil {
+		return nil, hw.Mesh{}, err
+	}
+	return p, MeshFor(p.NumClusters), nil
+}
+
+// buildFor resolves a workload's PCN under the run options: the multilevel
+// partitioner when opts.Multilevel is set, the cached flat expansion
+// otherwise.
+func buildFor(w *Workload, opts RunOptions) (*pcn.PCN, hw.Mesh, error) {
+	if opts.Multilevel != nil {
+		return w.BuildMultilevel(opts.Multilevel)
+	}
+	return w.Build()
+}
+
 // MeshFor returns the smallest square mesh holding n clusters — the sizing
 // rule that reproduces every Table 3 "Target Hardware" column (e.g. 6 956
 // clusters → 84×84).

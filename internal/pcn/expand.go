@@ -13,29 +13,47 @@ import (
 // total spike traffic (synapse count × source spike density) attributed to
 // each cluster pair. The result is identical in structure to running
 // Algorithm 1 on the materialized graph, but needs no neuron storage.
+// With cfg.Multilevel set, the multilevel partitioner runs instead.
 func Expand(n *snn.Net, cfg PartitionConfig) (*PCN, error) {
-	if err := n.Validate(); err != nil {
-		return nil, fmt.Errorf("pcn: invalid net: %w", err)
+	if cfg.Multilevel != nil {
+		p, _, err := ExpandMultilevel(n, cfg)
+		return p, err
 	}
+	return expandWithGrain(n, cfg, 1)
+}
+
+// layerPlan holds the per-layer cluster sizing of one expansion.
+type layerPlan struct {
+	per   []int64 // neurons per cluster (last cluster of a layer may be smaller)
+	count []int   // clusters per layer
+	first []int   // first cluster index per layer
+	fanIn []int64 // synapses per neuron per layer
+	total int     // total cluster count
+}
+
+// planLayers computes the cluster sizing at a granularity: grain 1 is the
+// flat per-layer sizing; grain g > 1 divides each layer's cluster size by
+// its largest divisor ≤ g, so fine cluster boundaries remain a superset of
+// the flat ones (the multilevel grouping can always reproduce the flat
+// partition exactly).
+func planLayers(n *snn.Net, cfg PartitionConfig, grain int) (layerPlan, error) {
 	npc := cfg.Constraints.NeuronsPerCore
 	if npc <= 0 {
-		return nil, fmt.Errorf("pcn: expand requires a positive CON_npc, got %d", npc)
+		return layerPlan{}, fmt.Errorf("pcn: expand requires a positive CON_npc, got %d", npc)
 	}
-
-	// Per-layer fan-in (synapses per neuron) for the synapse constraint and
-	// per-cluster synapse accounting.
-	layerFanIn := make([]int64, len(n.Layers))
+	plan := layerPlan{
+		per:   make([]int64, len(n.Layers)),
+		count: make([]int, len(n.Layers)),
+		first: make([]int, len(n.Layers)),
+		fanIn: make([]int64, len(n.Layers)),
+	}
 	for _, c := range n.Conns {
-		layerFanIn[c.To] += c.FanIn
+		plan.fanIn[c.To] += c.FanIn
 	}
-
-	p := &PCN{Name: n.Name}
-	firstCluster := make([]int, len(n.Layers)) // first cluster index per layer
-	clustersOf := make([]int, len(n.Layers))   // cluster count per layer
 	for li, l := range n.Layers {
 		per := int64(npc)
-		if cfg.EnforceSynapses && cfg.Constraints.SynapsesPerCore > 0 && layerFanIn[li] > 0 {
-			bySyn := int64(cfg.Constraints.SynapsesPerCore) / layerFanIn[li]
+		if cfg.EnforceSynapses && cfg.Constraints.SynapsesPerCore > 0 && plan.fanIn[li] > 0 {
+			bySyn := int64(cfg.Constraints.SynapsesPerCore) / plan.fanIn[li]
 			if bySyn < 1 {
 				bySyn = 1
 			}
@@ -43,26 +61,88 @@ func Expand(n *snn.Net, cfg PartitionConfig) (*PCN, error) {
 				per = bySyn
 			}
 		}
-		count := int((l.Neurons + per - 1) / per)
-		firstCluster[li] = p.NumClusters
-		clustersOf[li] = count
+		if grain > 1 {
+			g := int64(grain)
+			if g > per {
+				g = per
+			}
+			for per%g != 0 {
+				g--
+			}
+			per /= g
+		}
+		plan.per[li] = per
+		plan.count[li] = int((l.Neurons + per - 1) / per)
+		plan.first[li] = plan.total
+		plan.total += plan.count[li]
+	}
+	return plan, nil
+}
+
+// estimateEdges returns the exact number of appendEdge calls an expansion of
+// the plan performs (self-edges included). It doubles as the preallocation
+// size and as the fine-graph size estimator for the multilevel grain
+// adaptation.
+func estimateEdges(n *snn.Net, plan layerPlan) int64 {
+	var est int64
+	for _, c := range n.Conns {
+		fc, tc := int64(plan.count[c.From]), int64(plan.count[c.To])
+		switch c.Pattern {
+		case snn.Dense:
+			est += tc * fc
+		case snn.Local:
+			window := int64(c.Window)
+			if window < 1 {
+				window = 1
+			}
+			if window > fc {
+				window = fc
+			}
+			est += tc * window
+		default: // OneToOne and anything unknown (rejected later)
+			est += tc
+		}
+	}
+	return est
+}
+
+// expandWithGrain is the granular expansion core shared by Expand (grain 1)
+// and ExpandMultilevel (grain > 1).
+func expandWithGrain(n *snn.Net, cfg PartitionConfig, grain int) (*PCN, error) {
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("pcn: invalid net: %w", err)
+	}
+	plan, err := planLayers(n, cfg, grain)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &PCN{Name: n.Name, NumClusters: plan.total}
+	p.Neurons = make([]int32, 0, plan.total)
+	p.Synapses = make([]int64, 0, plan.total)
+	p.Layer = make([]int32, 0, plan.total)
+	for li, l := range n.Layers {
+		per, count := plan.per[li], plan.count[li]
 		for ci := 0; ci < count; ci++ {
 			neurons := per
 			if ci == count-1 {
 				neurons = l.Neurons - per*int64(count-1)
 			}
 			p.Neurons = append(p.Neurons, int32(neurons))
-			p.Synapses = append(p.Synapses, neurons*layerFanIn[li])
+			p.Synapses = append(p.Synapses, neurons*plan.fanIn[li])
 			p.Layer = append(p.Layer, int32(li))
-			p.NumClusters++
 		}
 	}
 
 	// Expand connections. Weight bookkeeping: a Conn carries total traffic
 	// T = To.Neurons × FanIn × rate(From); each target cluster receives its
-	// neuron-proportional share, split across its source clusters.
-	var from, to []int32
-	var w []float64
+	// neuron-proportional share, split across its source clusters. The exact
+	// edge count is known up front (estimateEdges), so the edge list never
+	// reallocates.
+	est := estimateEdges(n, plan)
+	from := make([]int32, 0, est)
+	to := make([]int32, 0, est)
+	w := make([]float64, 0, est)
 	appendEdge := func(f, t int, weight float64) {
 		if f == t {
 			p.InternalTraffic += weight
@@ -73,8 +153,8 @@ func Expand(n *snn.Net, cfg PartitionConfig) (*PCN, error) {
 		w = append(w, weight)
 	}
 	for _, c := range n.Conns {
-		fc, tc := clustersOf[c.From], clustersOf[c.To]
-		f0, t0 := firstCluster[c.From], firstCluster[c.To]
+		fc, tc := plan.count[c.From], plan.count[c.To]
+		f0, t0 := plan.first[c.From], plan.first[c.To]
 		rate := n.RateOf(c.From)
 		for tj := 0; tj < tc; tj++ {
 			targetTraffic := float64(p.Neurons[t0+tj]) * float64(c.FanIn) * rate

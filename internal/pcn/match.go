@@ -1,0 +1,154 @@
+package pcn
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Deterministic parallel heavy-edge matching — the coarsening kernel of the
+// multilevel partitioner. Each round has two data-parallel phases over fixed
+// vertex chunks:
+//
+//  1. Proposal: every unmatched vertex selects its heaviest unmatched
+//     neighbor whose merged weight fits the cap (ties broken toward the
+//     smaller index). The phase only reads state frozen at the round start,
+//     so the proposal vector is a pure function of the graph — identical at
+//     any worker count.
+//  2. Acceptance: a pair matches iff the proposals are mutual
+//     (pref[pref[v]] == v). Every vertex writes only its own match slot, so
+//     the phase is race-free and, again, worker-count independent.
+//
+// One-sided proposals are dropped and retried next round against the shrunk
+// candidate set. This is the same selection-based sweep structure as the FD
+// fine-tuning workers (DESIGN.md §5): chunk boundaries depend only on the
+// vertex count, never on Workers, making coarse graphs bit-identical.
+
+// matchChunks is the fixed chunk count of the parallel matching phases. Like
+// metrics' evalChunks it must not depend on the worker count.
+const matchChunks = 64
+
+// matchChunksOf lowers the chunk count so no chunk is empty.
+func matchChunksOf(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n < matchChunks {
+		return n
+	}
+	return matchChunks
+}
+
+// runMatchChunks executes fn(ci, lo, hi) for every chunk of [0, n). With
+// workers <= 1 it runs inline in chunk order; otherwise min(workers, k)
+// goroutines pull chunk indices from an atomic counter. Which goroutine
+// computes which chunk is irrelevant: chunks write disjoint index ranges.
+func runMatchChunks(workers, n int, fn func(ci, lo, hi int)) {
+	k := matchChunksOf(n)
+	chunk := (n + k - 1) / k
+	run := func(ci int) {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo < hi || n == 0 {
+			fn(ci, lo, hi)
+		}
+	}
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 || k == 1 {
+		for ci := 0; ci < k; ci++ {
+			run(ci)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= k {
+					return
+				}
+				run(ci)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// heavyEdgeMatch computes a matching of the undirected graph: match[v] is
+// v's partner, or v itself when the vertex stays a singleton. A pair is only
+// eligible when the merged neuron weight fits mergeCap (and the merged
+// synapse weight fits synCap when synCap > 0) and, with splitLayers, both
+// vertices carry the same layer tag (untagged vertices, layer < 0, match
+// freely). rounds bounds the proposal/acceptance sweeps.
+func heavyEdgeMatch(u *Undirected, neurons []int32, synapses []int64, layer []int32, mergeCap int, synCap int64, splitLayers bool, rounds, workers int) []int32 {
+	n := len(neurons)
+	match := make([]int32, n)
+	pref := make([]int32, n)
+	for v := range match {
+		match[v] = -1
+	}
+	counts := make([]int64, matchChunksOf(n))
+	for r := 0; r < rounds; r++ {
+		runMatchChunks(workers, n, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				pref[v] = -1
+				if match[v] >= 0 {
+					continue
+				}
+				tos, ws := u.Neighbors(v)
+				best := int32(-1)
+				bestW := 0.0
+				for k, t := range tos {
+					if match[t] >= 0 || int(t) == v {
+						continue
+					}
+					if int(neurons[v])+int(neurons[t]) > mergeCap {
+						continue
+					}
+					if synCap > 0 && synapses[v]+synapses[t] > synCap {
+						continue
+					}
+					if splitLayers && layer[v] >= 0 && layer[t] >= 0 && layer[v] != layer[t] {
+						continue
+					}
+					if ws[k] > bestW || (ws[k] == bestW && (best < 0 || t < best)) {
+						best = t
+						bestW = ws[k]
+					}
+				}
+				pref[v] = best
+			}
+		})
+		runMatchChunks(workers, n, func(ci, lo, hi int) {
+			counts[ci] = 0
+			for v := lo; v < hi; v++ {
+				p := pref[v]
+				if p >= 0 && pref[p] == int32(v) {
+					match[v] = p
+					counts[ci]++
+				}
+			}
+		})
+		var matched int64
+		for _, c := range counts {
+			matched += c
+		}
+		if matched == 0 {
+			break
+		}
+	}
+	for v := range match {
+		if match[v] < 0 {
+			match[v] = int32(v)
+		}
+	}
+	return match
+}

@@ -1,0 +1,697 @@
+package pcn
+
+import (
+	"fmt"
+
+	"snnmap/internal/snn"
+)
+
+// The multilevel coarsen–partition–uncoarsen partitioner (SNEAP-style; see
+// PAPERS.md). Instead of cutting the neuron order greedily like Algorithm 1,
+// it works on a fine-granularity cluster graph: heavy-edge matching contracts
+// the graph level by level until it is small, a greedy growth pass partitions
+// the coarsest graph under the hardware capacity constraints, and the
+// assignment is projected back level by level with boundary-only KL/FM
+// refinement — the same gain accounting as RefinePartition (move gain =
+// connectivity-to-target − connectivity-to-home), applied to cluster-graph
+// vertices instead of single neurons. Every stage is deterministic at any
+// Workers count; the final result is additionally guarded by a flat
+// fallback, so its cut is never worse than the flat pipeline's.
+
+// MultilevelOptions tunes the multilevel partitioner. The zero value of any
+// field selects its default.
+type MultilevelOptions struct {
+	// CoarsestSize stops coarsening once the graph has at most this many
+	// vertices (floored at twice the minimum feasible part count so the
+	// initial partitioning still has freedom). Default 128.
+	CoarsestSize int
+	// MaxLevels bounds the coarsening hierarchy depth. Default 32.
+	MaxLevels int
+	// Workers is the parallelism of matching and contraction. Results are
+	// bit-identical at any value. Default 1.
+	Workers int
+	// RefinePasses bounds the boundary-refinement sweeps per level.
+	// Default 4.
+	RefinePasses int
+	// MinGain is the smallest cut reduction worth a refinement move.
+	// Default 1e-9.
+	MinGain float64
+	// Grain is the granularity factor of the fine graph: fine clusters hold
+	// about CON_npc/Grain neurons, giving refinement Grain× more freedom
+	// than whole-cluster moves. Default 8.
+	Grain int
+	// MaxFineEdges caps the fine graph size for the analytic (layer-spec)
+	// path: the effective grain is halved until the estimated fine edge
+	// count fits, so billion-synapse nets do not materialize huge cluster
+	// graphs. Default 4Mi edges.
+	MaxFineEdges int64
+	// MatchRounds bounds the proposal/acceptance rounds per matching sweep.
+	// Default 8.
+	MatchRounds int
+}
+
+func (o MultilevelOptions) withDefaults() MultilevelOptions {
+	if o.CoarsestSize <= 0 {
+		o.CoarsestSize = 128
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 32
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 4
+	}
+	if o.MinGain <= 0 {
+		o.MinGain = 1e-9
+	}
+	if o.Grain <= 0 {
+		o.Grain = 8
+	}
+	if o.MaxFineEdges <= 0 {
+		o.MaxFineEdges = 4 << 20
+	}
+	if o.MatchRounds <= 0 {
+		o.MatchRounds = 8
+	}
+	return o
+}
+
+// DefaultMultilevel returns the default multilevel configuration.
+func DefaultMultilevel() *MultilevelOptions {
+	o := MultilevelOptions{}.withDefaults()
+	return &o
+}
+
+// MultilevelStats reports what the multilevel partitioner did.
+type MultilevelStats struct {
+	// Levels is the number of graphs in the coarsening hierarchy (1 means
+	// no contraction happened).
+	Levels int
+	// FineVertices and FineEdges describe the fine cluster graph the
+	// hierarchy starts from.
+	FineVertices int
+	FineEdges    int64
+	// CoarsestVertices is the size of the graph the initial partitioning
+	// ran on.
+	CoarsestVertices int
+	// Grain is the effective granularity after the MaxFineEdges adaptation.
+	Grain int
+	// Moves counts refinement moves across all levels.
+	Moves int64
+	// CutFlat and CutMultilevel are the total inter-cluster traffic of the
+	// flat baseline and the multilevel result.
+	CutFlat, CutMultilevel float64
+	// UsedFlat is true when the flat result was returned because the
+	// multilevel cut came out worse (the quality guarantee).
+	UsedFlat bool
+}
+
+// grouping is the outcome of multilevelGroup: a dense part assignment of the
+// fine cluster graph plus per-part occupancy.
+type grouping struct {
+	partOf   []int32
+	neurons  []int32
+	synapses []int64
+	layer    []int32
+	levels   int
+	coarsest int
+	moves    int64
+}
+
+// PartitionMultilevel partitions an explicit SNN graph with the multilevel
+// scheme: a fine Algorithm 1 partition at CON_npc/Grain granularity supplies
+// the fine cluster graph, multilevelGroup packs the fine clusters into
+// full-capacity parts, and the composed neuron assignment is rebuilt into a
+// PCN. If the multilevel cut is worse than the flat pipeline's, the flat
+// result is returned instead (Stats.UsedFlat).
+func PartitionMultilevel(g *snn.Graph, cfg PartitionConfig) (*Result, MultilevelStats, error) {
+	opts := cfg.Multilevel
+	if opts == nil {
+		opts = DefaultMultilevel()
+	}
+	o := opts.withDefaults()
+	cfg.Multilevel = nil // internal calls run flat
+
+	flat, err := Partition(g, cfg)
+	if err != nil {
+		return nil, MultilevelStats{}, err
+	}
+	stats := MultilevelStats{Grain: o.Grain, CutFlat: flat.PCN.TotalWeight()}
+
+	fineCfg := cfg
+	npcFine := cfg.Constraints.NeuronsPerCore / o.Grain
+	if npcFine < 1 {
+		npcFine = 1
+	}
+	fineCfg.Constraints.NeuronsPerCore = npcFine
+	// The fine granularity never needs its own PCN (sorted per-cluster CSR):
+	// grouping works on the undirected cluster graph, built straight from the
+	// neuron edges through the fine assignment.
+	fineOf, fineN, fineS, fineL, err := assignClusters(g, fineCfg)
+	if err != nil {
+		return nil, stats, err
+	}
+	base := &gLevel{
+		u:        undirectedFromAssignment(g, fineOf, len(fineN), o.Workers),
+		neurons:  fineN,
+		synapses: fineS,
+		layer:    fineL,
+	}
+	stats.FineVertices = len(fineN)
+	stats.FineEdges = int64(len(base.u.To)) / 2
+
+	grp := multilevelGroup(base, int64(g.NumNeurons), cfg, o)
+	stats.Levels = grp.levels
+	stats.CoarsestVertices = grp.coarsest
+	stats.Moves = grp.moves
+
+	clusterOf := make([]int32, g.NumNeurons)
+	for i := range clusterOf {
+		clusterOf[i] = grp.partOf[fineOf[i]]
+	}
+	ml, err := rebuildFromAssignment(g, clusterOf, grp.neurons, grp.synapses, grp.layer)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.CutMultilevel = ml.PCN.TotalWeight()
+	if preferFlat(stats, ml.PCN, flat.PCN) {
+		stats.UsedFlat = true
+		return flat, stats, nil
+	}
+	return ml, stats, nil
+}
+
+// undirectedFromAssignment builds the symmetrized cluster graph of a neuron
+// assignment directly from the neuron edges, skipping the sorted cluster CSR
+// a full Partition would build only to have Undirected re-derive it. Chunks
+// of clusters sort and duplicate-merge their (disjoint) adjacency ranges in
+// parallel; chunk boundaries depend only on the cluster count, so the result
+// is bit-identical at any worker count.
+func undirectedFromAssignment(g *snn.Graph, clusterOf []int32, n, workers int) *Undirected {
+	deg := make([]int64, n+1)
+	for u := 0; u < g.NumNeurons; u++ {
+		cu := clusterOf[u]
+		tos, _ := g.OutEdges(u)
+		for _, v := range tos {
+			if cv := clusterOf[v]; cv != cu {
+				deg[cu+1]++
+				deg[cv+1]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	to := make([]int32, deg[n])
+	w := make([]float64, deg[n])
+	next := make([]int64, n)
+	copy(next, deg[:n])
+	for u := 0; u < g.NumNeurons; u++ {
+		cu := clusterOf[u]
+		tos, ws := g.OutEdges(u)
+		for k, v := range tos {
+			cv := clusterOf[v]
+			if cv == cu {
+				continue
+			}
+			pos := next[cu]
+			next[cu]++
+			to[pos], w[pos] = cv, ws[k]
+			pos = next[cv]
+			next[cv]++
+			to[pos], w[pos] = cu, ws[k]
+		}
+	}
+	count := make([]int64, n)
+	runMatchChunks(workers, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s, e := deg[i], deg[i+1]
+			sortEdges(to[s:e], w[s:e])
+			write := s
+			for r := s; r < e; r++ {
+				if write > s && to[write-1] == to[r] {
+					w[write-1] += w[r]
+					continue
+				}
+				to[write], w[write] = to[r], w[r]
+				write++
+			}
+			count[i] = write - s
+		}
+	})
+	var total int64
+	for i := 0; i < n; i++ {
+		total += count[i]
+	}
+	u := &Undirected{
+		Off: make([]int64, n+1),
+		To:  make([]int32, 0, total),
+		W:   make([]float64, 0, total),
+	}
+	for i := 0; i < n; i++ {
+		u.Off[i] = int64(len(u.To))
+		s := deg[i]
+		u.To = append(u.To, to[s:s+count[i]]...)
+		u.W = append(u.W, w[s:s+count[i]]...)
+	}
+	u.Off[n] = int64(len(u.To))
+	return u
+}
+
+// preferFlat decides the fallback: keep the flat result unless multilevel
+// strictly improved the cut, or matched it with fewer clusters (a smaller
+// mesh downstream). This makes "multilevel cut ≤ flat cut" a guarantee
+// rather than a tendency.
+func preferFlat(stats MultilevelStats, ml, flat *PCN) bool {
+	if stats.CutMultilevel > stats.CutFlat {
+		return true
+	}
+	return stats.CutMultilevel == stats.CutFlat && ml.NumClusters >= flat.NumClusters
+}
+
+// ExpandMultilevel partitions a layer-spec Net with the multilevel scheme
+// without materializing neurons: the analytic expander runs at a finer
+// granularity (per-layer cluster sizes divided by the largest divisor ≤
+// Grain, so fine cluster boundaries stay aligned with flat ones), the fine
+// cluster graph is grouped, and the fine PCN is contracted through the part
+// assignment. The same flat-fallback guarantee applies.
+func ExpandMultilevel(n *snn.Net, cfg PartitionConfig) (*PCN, MultilevelStats, error) {
+	opts := cfg.Multilevel
+	if opts == nil {
+		opts = DefaultMultilevel()
+	}
+	o := opts.withDefaults()
+	cfg.Multilevel = nil
+
+	flat, err := Expand(n, cfg)
+	if err != nil {
+		return nil, MultilevelStats{}, err
+	}
+	stats := MultilevelStats{CutFlat: flat.TotalWeight()}
+
+	// Adapt the grain so the fine graph stays bounded: Dense connections
+	// grow quadratically with the per-layer cluster count, so billion-neuron
+	// nets may need a coarser fine graph than the configured Grain.
+	grain := o.Grain
+	for grain > 1 {
+		plan, err := planLayers(n, cfg, grain)
+		if err != nil {
+			return nil, stats, err
+		}
+		if estimateEdges(n, plan) <= o.MaxFineEdges {
+			break
+		}
+		grain /= 2
+	}
+	stats.Grain = grain
+
+	fine := flat
+	if grain > 1 {
+		fine, err = expandWithGrain(n, cfg, grain)
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	base := &gLevel{
+		u:        fine.Undirected(),
+		neurons:  fine.Neurons,
+		synapses: fine.Synapses,
+		layer:    fine.Layer,
+	}
+	stats.FineVertices = fine.NumClusters
+	stats.FineEdges = int64(len(base.u.To)) / 2
+
+	grp := multilevelGroup(base, fine.TotalNeurons(), cfg, o)
+	stats.Levels = grp.levels
+	stats.CoarsestVertices = grp.coarsest
+	stats.Moves = grp.moves
+
+	ml := contractPCN(fine, grp)
+	stats.CutMultilevel = ml.TotalWeight()
+	if preferFlat(stats, ml, flat) {
+		stats.UsedFlat = true
+		return flat, stats, nil
+	}
+	if err := ml.Validate(); err != nil {
+		return nil, stats, fmt.Errorf("pcn: multilevel result invalid: %w", err)
+	}
+	return ml, stats, nil
+}
+
+// contractPCN maps a fine PCN's directed edges through a part assignment,
+// producing the final cluster-level PCN. Edges that become internal to a
+// part move into InternalTraffic.
+func contractPCN(fine *PCN, grp grouping) *PCN {
+	p := &PCN{
+		Name:            fine.Name,
+		NumClusters:     len(grp.neurons),
+		Neurons:         grp.neurons,
+		Synapses:        grp.synapses,
+		Layer:           grp.layer,
+		InternalTraffic: fine.InternalTraffic,
+	}
+	ne := fine.NumEdges()
+	from := make([]int32, 0, ne)
+	to := make([]int32, 0, ne)
+	w := make([]float64, 0, ne)
+	for i := 0; i < fine.NumClusters; i++ {
+		ci := grp.partOf[i]
+		tos, ws := fine.OutEdges(i)
+		for k, t := range tos {
+			ct := grp.partOf[t]
+			if ci == ct {
+				p.InternalTraffic += ws[k]
+				continue
+			}
+			from = append(from, ci)
+			to = append(to, ct)
+			w = append(w, ws[k])
+		}
+	}
+	buildCSR(p, from, to, w)
+	return p
+}
+
+// multilevelGroup packs the vertices of a fine cluster graph into parts that
+// each fit the hardware constraints: coarsen by heavy-edge matching,
+// partition the coarsest graph greedily, project back with boundary
+// refinement at every level, then compact part indices by first appearance.
+// total is the neuron count the fine graph represents.
+func multilevelGroup(base *gLevel, total int64, cfg PartitionConfig, o MultilevelOptions) grouping {
+	npc := cfg.Constraints.NeuronsPerCore
+	var synCap int64
+	if cfg.EnforceSynapses {
+		synCap = int64(cfg.Constraints.SynapsesPerCore)
+	}
+	// The cluster-level grouping merges freely across layer boundaries:
+	// feed-forward nets have no intra-layer cluster edges, so honoring
+	// SplitAtLayers here would leave matching and growth nothing to work
+	// with — and internalizing cross-layer traffic is exactly where the
+	// multilevel cut reduction comes from. Mixed parts are tagged layer -1;
+	// the flat fallback still guards callers that need layer purity.
+	cfg.SplitAtLayers = false
+
+	// Keep at least two coarse vertices per feasible part so the initial
+	// partitioning is not forced into a fixed grouping.
+	minParts := int((total + int64(npc) - 1) / int64(npc))
+	target := o.CoarsestSize
+	if t := 2 * minParts; t > target {
+		target = t
+	}
+
+	levels := []*gLevel{base}
+	lv := base
+	for len(levels) <= o.MaxLevels && len(lv.neurons) > target {
+		match := heavyEdgeMatch(lv.u, lv.neurons, lv.synapses, lv.layer, npc, synCap, cfg.SplitAtLayers, o.MatchRounds, o.Workers)
+		pairs := 0
+		for v, m := range match {
+			if int(m) > v {
+				pairs++
+			}
+		}
+		// Stalled matchings (capacity- or layer-bound) shrink the graph too
+		// slowly to be worth another level.
+		if pairs*32 < len(match) {
+			break
+		}
+		coarse, _ := contract(lv, match, o.Workers)
+		levels = append(levels, coarse)
+		lv = coarse
+	}
+
+	grp := grouping{levels: len(levels), coarsest: len(lv.neurons)}
+
+	partOf, parts := greedyPartition(lv, cfg, npc, synCap)
+	partN := make([]int32, parts)
+	partS := make([]int64, parts)
+	partLayer := make([]int32, parts)
+	for p := range partLayer {
+		partLayer[p] = -2 // unset sentinel
+	}
+	for v := range partOf {
+		p := partOf[v]
+		partN[p] += lv.neurons[v]
+		partS[p] += lv.synapses[v]
+		if partLayer[p] == -2 {
+			partLayer[p] = lv.layer[v]
+		} else if partLayer[p] != lv.layer[v] {
+			partLayer[p] = -1
+		}
+	}
+	partVerts := make([]int32, parts)
+	for _, p := range partOf {
+		partVerts[p]++
+	}
+
+	grp.moves += refineLevel(lv, partOf, partN, partS, partLayer, partVerts, cfg, o, npc, synCap)
+	for li := len(levels) - 2; li >= 0; li-- {
+		finer := levels[li]
+		fp := make([]int32, len(finer.neurons))
+		for v := range fp {
+			fp[v] = partOf[finer.coarseOf[v]]
+		}
+		partOf = fp
+		for p := range partVerts {
+			partVerts[p] = 0
+		}
+		for _, p := range partOf {
+			partVerts[p]++
+		}
+		grp.moves += refineLevel(finer, partOf, partN, partS, partLayer, partVerts, cfg, o, npc, synCap)
+	}
+
+	// Compact part indices by first appearance (refinement may have emptied
+	// parts) and recompute occupancy on the fine graph.
+	remap := make([]int32, parts)
+	for p := range remap {
+		remap[p] = -1
+	}
+	var dense int32
+	for v := range partOf {
+		p := partOf[v]
+		if remap[p] < 0 {
+			remap[p] = dense
+			dense++
+		}
+		partOf[v] = remap[p]
+	}
+	grp.partOf = partOf
+	grp.neurons = make([]int32, dense)
+	grp.synapses = make([]int64, dense)
+	grp.layer = make([]int32, dense)
+	for p := range grp.layer {
+		grp.layer[p] = -2
+	}
+	for v, p := range partOf {
+		grp.neurons[p] += base.neurons[v]
+		grp.synapses[p] += base.synapses[v]
+		if grp.layer[p] == -2 {
+			grp.layer[p] = base.layer[v]
+		} else if grp.layer[p] != base.layer[v] {
+			grp.layer[p] = -1
+		}
+	}
+	return grp
+}
+
+// greedyPartition assigns every vertex of the coarsest graph to a part by
+// greedy growth: seed the part with the lowest unassigned vertex, then
+// repeatedly admit the frontier vertex with the strongest connectivity to
+// the part that still fits (ties toward the smaller index), until nothing
+// fits. A seed is always admitted, mirroring Algorithm 1's empty-cluster
+// rule. The scan order and tie-breaks make the result deterministic.
+func greedyPartition(lv *gLevel, cfg PartitionConfig, npc int, synCap int64) ([]int32, int) {
+	n := len(lv.neurons)
+	partOf := make([]int32, n)
+	for v := range partOf {
+		partOf[v] = -1
+	}
+	conn := make([]float64, n)
+	inFrontier := make([]bool, n)
+	frontier := make([]int32, 0, 64)
+
+	part := int32(0)
+	assigned := 0
+	seed := 0
+	// fill locates zero-connectivity admissions: the lowest unassigned
+	// vertex that still fits the part, so disconnected components pack into
+	// full parts (Algorithm 1's contiguous walk) instead of leaking
+	// singleton parts.
+	fill := func(pN int32, pS int64, pLayer int32) int32 {
+		for c := seed; c < n; c++ {
+			if partOf[c] >= 0 {
+				continue
+			}
+			if int(pN)+int(lv.neurons[c]) > npc {
+				continue
+			}
+			if synCap > 0 && pS+lv.synapses[c] > synCap {
+				continue
+			}
+			if cfg.SplitAtLayers && lv.layer[c] >= 0 && pLayer >= 0 && lv.layer[c] != pLayer {
+				continue
+			}
+			return int32(c)
+		}
+		return -1
+	}
+	for assigned < n {
+		for seed < n && partOf[seed] >= 0 {
+			seed++
+		}
+		v := int32(seed)
+		var pN int32
+		var pS int64
+		pLayer := int32(-1)
+		for {
+			partOf[v] = part
+			assigned++
+			pN += lv.neurons[v]
+			pS += lv.synapses[v]
+			if pLayer < 0 {
+				pLayer = lv.layer[v]
+			}
+			tos, ws := lv.u.Neighbors(int(v))
+			for k, t := range tos {
+				if partOf[t] >= 0 {
+					continue
+				}
+				conn[t] += ws[k]
+				if !inFrontier[t] {
+					inFrontier[t] = true
+					frontier = append(frontier, t)
+				}
+			}
+			// Next admission: best-connected fitting frontier vertex.
+			best := int32(-1)
+			bestConn := -1.0
+			live := frontier[:0]
+			for _, t := range frontier {
+				if partOf[t] >= 0 {
+					inFrontier[t] = false
+					continue
+				}
+				live = append(live, t)
+				if int(pN)+int(lv.neurons[t]) > npc {
+					continue
+				}
+				if synCap > 0 && pS+lv.synapses[t] > synCap {
+					continue
+				}
+				if cfg.SplitAtLayers && lv.layer[t] >= 0 && pLayer >= 0 && lv.layer[t] != pLayer {
+					continue
+				}
+				if conn[t] > bestConn || (conn[t] == bestConn && (best < 0 || t < best)) {
+					best = t
+					bestConn = conn[t]
+				}
+			}
+			frontier = live
+			if best < 0 {
+				best = fill(pN, pS, pLayer)
+			}
+			if best < 0 {
+				break
+			}
+			v = best
+		}
+		for _, t := range frontier {
+			conn[t] = 0
+			inFrontier[t] = false
+		}
+		frontier = frontier[:0]
+		part++
+	}
+	return partOf, int(part)
+}
+
+// refineLevel runs boundary-only FM refinement of a part assignment on one
+// hierarchy level: each pass walks the vertices in index order, skips
+// interior vertices with a cheap neighbor scan, and moves a boundary vertex
+// to the adjacent part with the largest positive cut gain that still fits
+// the capacity and layer constraints. Candidate parts are examined in
+// neighbor order with strict-improvement ties, so the outcome does not
+// depend on map iteration order or worker count. Occupancy arrays are
+// mutated in place; the returned count is the number of moves applied.
+func refineLevel(lv *gLevel, partOf []int32, partN []int32, partS []int64, partLayer []int32, partVerts []int32, cfg PartitionConfig, o MultilevelOptions, npc int, synCap int64) int64 {
+	n := len(lv.neurons)
+	// Dense gain scratch indexed by part: gain[d] accumulates v's edge weight
+	// into part d, seen[d] keeps the candidate list duplicate-free, and both
+	// are reset via cand after each vertex — no per-vertex map traffic.
+	gain := make([]float64, len(partN))
+	seen := make([]bool, len(partN))
+	cand := make([]int32, 0, 16)
+	var moves int64
+	for pass := 0; pass < o.RefinePasses; pass++ {
+		var passMoves int64
+		for vi := 0; vi < n; vi++ {
+			v := int32(vi)
+			cv := partOf[v]
+			tos, ws := lv.u.Neighbors(vi)
+			boundary := false
+			for _, t := range tos {
+				if partOf[t] != cv {
+					boundary = true
+					break
+				}
+			}
+			if !boundary {
+				continue
+			}
+			cand = cand[:0]
+			for k, t := range tos {
+				d := partOf[t]
+				if !seen[d] {
+					seen[d] = true
+					cand = append(cand, d)
+				}
+				gain[d] += ws[k]
+			}
+			internal := gain[cv]
+			best := cv
+			bestGain := o.MinGain
+			for _, d := range cand {
+				if d == cv {
+					continue
+				}
+				g := gain[d] - internal
+				if g <= bestGain {
+					continue
+				}
+				if int(partN[d])+int(lv.neurons[v]) > npc {
+					continue
+				}
+				if synCap > 0 && partS[d]+lv.synapses[v] > synCap {
+					continue
+				}
+				if cfg.SplitAtLayers && lv.layer[v] >= 0 && partLayer[d] >= 0 && partLayer[d] != lv.layer[v] {
+					continue
+				}
+				best = d
+				bestGain = g
+			}
+			for _, d := range cand {
+				gain[d] = 0
+				seen[d] = false
+			}
+			if best == cv {
+				continue
+			}
+			partN[cv] -= lv.neurons[v]
+			partS[cv] -= lv.synapses[v]
+			partVerts[cv]--
+			partN[best] += lv.neurons[v]
+			partS[best] += lv.synapses[v]
+			partVerts[best]++
+			partOf[v] = best
+			passMoves++
+		}
+		moves += passMoves
+		if passMoves == 0 {
+			break
+		}
+	}
+	return moves
+}

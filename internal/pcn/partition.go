@@ -19,6 +19,10 @@ type PartitionConfig struct {
 	// source graph carries layer tags. The paper's per-layer cluster counts
 	// (e.g. LeNet-MNIST = 9) require it; default true in DefaultPartition.
 	SplitAtLayers bool
+	// Multilevel switches Partition and Expand to the multilevel
+	// coarsen–partition–uncoarsen scheme (multilevel.go). Nil keeps the
+	// paper's flat Algorithm 1 pipeline.
+	Multilevel *MultilevelOptions
 }
 
 // DefaultPartition returns the configuration that reproduces the paper's
@@ -42,17 +46,40 @@ type Result struct {
 // a new cluster; finally build E_P and w_P from the synapses that cross
 // cluster boundaries (Eqs. 5–6).
 func Partition(g *snn.Graph, cfg PartitionConfig) (*Result, error) {
+	if cfg.Multilevel != nil {
+		r, _, err := PartitionMultilevel(g, cfg)
+		return r, err
+	}
+	clusterOf, neurons, synapses, layers, err := assignClusters(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &PCN{NumClusters: len(neurons), Neurons: neurons, Synapses: synapses, Layer: layers}
+
+	// Build E_P and w_P: sum spike densities of synapses crossing cluster
+	// boundaries (Eq. 5); same-cluster traffic is recorded separately. A
+	// counting pass sizes the edge list exactly so it never reallocates.
+	from, to, w := crossEdges(g, clusterOf, &p.InternalTraffic)
+	buildCSR(p, from, to, w)
+	return &Result{PCN: p, ClusterOf: clusterOf}, nil
+}
+
+// assignClusters is the Algorithm 1 walk alone: the neuron→cluster
+// assignment and per-cluster occupancy, without building the cluster edge
+// list. Partition completes it into a PCN; the multilevel partitioner uses
+// it for the fine granularity, where only the undirected cluster graph is
+// needed.
+func assignClusters(g *snn.Graph, cfg PartitionConfig) (clusterOf []int32, neurons []int32, synapses []int64, layers []int32, err error) {
 	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("pcn: invalid input graph: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("pcn: invalid input graph: %w", err)
 	}
 	npc := cfg.Constraints.NeuronsPerCore
 	spc := cfg.Constraints.SynapsesPerCore
 	if npc <= 0 {
-		return nil, fmt.Errorf("pcn: partition requires a positive CON_npc, got %d", npc)
+		return nil, nil, nil, nil, fmt.Errorf("pcn: partition requires a positive CON_npc, got %d", npc)
 	}
 
-	p := &PCN{}
-	clusterOf := make([]int32, g.NumNeurons)
+	clusterOf = make([]int32, g.NumNeurons)
 	curNeurons := 0
 	var curSynapses int64
 	curLayer := int32(-1)
@@ -61,9 +88,9 @@ func Partition(g *snn.Graph, cfg PartitionConfig) (*Result, error) {
 		if curNeurons == 0 {
 			return
 		}
-		p.Neurons = append(p.Neurons, int32(curNeurons))
-		p.Synapses = append(p.Synapses, curSynapses)
-		p.Layer = append(p.Layer, curLayer)
+		neurons = append(neurons, int32(curNeurons))
+		synapses = append(synapses, curSynapses)
+		layers = append(layers, curLayer)
 		curNeurons = 0
 		curSynapses = 0
 	}
@@ -88,24 +115,38 @@ func Partition(g *snn.Graph, cfg PartitionConfig) (*Result, error) {
 		if curNeurons == 0 {
 			curLayer = layer
 		}
-		clusterOf[i] = int32(len(p.Neurons))
+		clusterOf[i] = int32(len(neurons))
 		curNeurons++
 		curSynapses += fanIn
 	}
 	flush()
-	p.NumClusters = len(p.Neurons)
+	return clusterOf, neurons, synapses, layers, nil
+}
 
-	// Build E_P and w_P: sum spike densities of synapses crossing cluster
-	// boundaries (Eq. 5); same-cluster traffic is recorded separately.
-	var from, to []int32
-	var w []float64
+// crossEdges collects the synapses crossing cluster boundaries under an
+// assignment, preallocated to the exact cross count; same-cluster traffic
+// accumulates into internal.
+func crossEdges(g *snn.Graph, clusterOf []int32, internal *float64) (from, to []int32, w []float64) {
+	var cross int64
+	for u := 0; u < g.NumNeurons; u++ {
+		cu := clusterOf[u]
+		tos, _ := g.OutEdges(u)
+		for _, v := range tos {
+			if clusterOf[v] != cu {
+				cross++
+			}
+		}
+	}
+	from = make([]int32, 0, cross)
+	to = make([]int32, 0, cross)
+	w = make([]float64, 0, cross)
 	for u := 0; u < g.NumNeurons; u++ {
 		cu := clusterOf[u]
 		tos, ws := g.OutEdges(u)
 		for k, v := range tos {
 			cv := clusterOf[v]
 			if cu == cv {
-				p.InternalTraffic += ws[k]
+				*internal += ws[k]
 				continue
 			}
 			from = append(from, cu)
@@ -113,6 +154,5 @@ func Partition(g *snn.Graph, cfg PartitionConfig) (*Result, error) {
 			w = append(w, ws[k])
 		}
 	}
-	buildCSR(p, from, to, w)
-	return &Result{PCN: p, ClusterOf: clusterOf}, nil
+	return from, to, w
 }

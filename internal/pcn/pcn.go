@@ -8,7 +8,6 @@ package pcn
 
 import (
 	"fmt"
-	"sort"
 )
 
 // PCN is a partitioned cluster network in CSR form. Cluster indices follow
@@ -209,8 +208,7 @@ func (p *PCN) Undirected() *Undirected {
 	for i := 0; i < n; i++ {
 		off[i] = write
 		lo, hi := deg[i], deg[i+1]
-		seg := newEdgeSorter(to[lo:hi], w[lo:hi])
-		sort.Sort(seg)
+		sortEdges(to[lo:hi], w[lo:hi])
 		for k := lo; k < hi; k++ {
 			if write > off[i] && to[write-1] == to[k] {
 				w[write-1] += w[k]
@@ -226,19 +224,61 @@ func (p *PCN) Undirected() *Undirected {
 	return p.undir
 }
 
-// edgeSorter sorts parallel target/weight slices by target.
-type edgeSorter struct {
-	to []int32
-	w  []float64
+// sortEdges sorts parallel target/weight slices by target without
+// allocating: an interface-based sort.Sort here costs one heap allocation
+// per cluster, which dominated Partition's allocation profile (most
+// clusters have short edge lists, so insertion sort also wins on time).
+func sortEdges(to []int32, w []float64) {
+	for len(to) > 16 {
+		// Median-of-three quicksort on the larger ranges; recurse into the
+		// smaller half, loop on the larger to bound stack depth.
+		mid := len(to) / 2
+		if to[mid] < to[0] {
+			swapEdge(to, w, 0, mid)
+		}
+		if to[len(to)-1] < to[0] {
+			swapEdge(to, w, 0, len(to)-1)
+		}
+		if to[len(to)-1] < to[mid] {
+			swapEdge(to, w, mid, len(to)-1)
+		}
+		pivot := to[mid]
+		i, j := 0, len(to)-1
+		for i <= j {
+			for to[i] < pivot {
+				i++
+			}
+			for to[j] > pivot {
+				j--
+			}
+			if i <= j {
+				swapEdge(to, w, i, j)
+				i++
+				j--
+			}
+		}
+		if j+1 < len(to)-i {
+			sortEdges(to[:j+1], w[:j+1])
+			to, w = to[i:], w[i:]
+		} else {
+			sortEdges(to[i:], w[i:])
+			to, w = to[:j+1], w[:j+1]
+		}
+	}
+	for i := 1; i < len(to); i++ {
+		t, x := to[i], w[i]
+		j := i - 1
+		for j >= 0 && to[j] > t {
+			to[j+1], w[j+1] = to[j], w[j]
+			j--
+		}
+		to[j+1], w[j+1] = t, x
+	}
 }
 
-func newEdgeSorter(to []int32, w []float64) *edgeSorter { return &edgeSorter{to: to, w: w} }
-
-func (s *edgeSorter) Len() int           { return len(s.to) }
-func (s *edgeSorter) Less(i, j int) bool { return s.to[i] < s.to[j] }
-func (s *edgeSorter) Swap(i, j int) {
-	s.to[i], s.to[j] = s.to[j], s.to[i]
-	s.w[i], s.w[j] = s.w[j], s.w[i]
+func swapEdge(to []int32, w []float64, i, j int) {
+	to[i], to[j] = to[j], to[i]
+	w[i], w[j] = w[j], w[i]
 }
 
 // buildCSR converts an edge list into the PCN's merged CSR fields.
@@ -267,8 +307,7 @@ func buildCSR(p *PCN, from, to []int32, w []float64) {
 	for i := 0; i < n; i++ {
 		p.OutOff[i] = write
 		lo, hi := counts[i], counts[i+1]
-		seg := newEdgeSorter(bucketTo[lo:hi], bucketW[lo:hi])
-		sort.Sort(seg)
+		sortEdges(bucketTo[lo:hi], bucketW[lo:hi])
 		for k := lo; k < hi; k++ {
 			if write > p.OutOff[i] && bucketTo[write-1] == bucketTo[k] {
 				bucketW[write-1] += bucketW[k]

@@ -281,22 +281,7 @@ func rebuildFromAssignment(g *snn.Graph, clusterOf []int32, neurons []int32, syn
 		Synapses:    synapses,
 		Layer:       layers,
 	}
-	var from, to []int32
-	var w []float64
-	for u := 0; u < g.NumNeurons; u++ {
-		cu := clusterOf[u]
-		tos, ws := g.OutEdges(u)
-		for k, v := range tos {
-			cv := clusterOf[v]
-			if cu == cv {
-				p.InternalTraffic += ws[k]
-				continue
-			}
-			from = append(from, cu)
-			to = append(to, cv)
-			w = append(w, ws[k])
-		}
-	}
+	from, to, w := crossEdges(g, clusterOf, &p.InternalTraffic)
 	buildCSR(p, from, to, w)
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("pcn: refined partition invalid: %w", err)

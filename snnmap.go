@@ -100,6 +100,11 @@ type (
 	PartitionConfig = pcn.PartitionConfig
 	// PartitionResult pairs a PCN with the neuron→cluster assignment.
 	PartitionResult = pcn.Result
+	// MultilevelOptions tunes the multilevel coarsen–partition–uncoarsen
+	// partitioner (set PartitionConfig.Multilevel to enable it).
+	MultilevelOptions = pcn.MultilevelOptions
+	// MultilevelStats reports one multilevel partitioning run.
+	MultilevelStats = pcn.MultilevelStats
 )
 
 // DefaultPartition returns the configuration matching the paper's Table 3.
@@ -113,6 +118,24 @@ func Partition(g *Graph, cfg PartitionConfig) (*PartitionResult, error) {
 // Expand partitions a layer-spec Net analytically (identical cluster
 // structure, no neuron materialization).
 func Expand(n *Net, cfg PartitionConfig) (*PCN, error) { return pcn.Expand(n, cfg) }
+
+// DefaultMultilevel returns the default multilevel partitioner options.
+func DefaultMultilevel() *MultilevelOptions { return pcn.DefaultMultilevel() }
+
+// PartitionMultilevel runs the multilevel partitioner on an explicit graph,
+// returning the per-run statistics alongside the result. The cut is
+// guaranteed no worse than flat Partition's, and results are bit-identical
+// at any MultilevelOptions.Workers count.
+func PartitionMultilevel(g *Graph, cfg PartitionConfig) (*PartitionResult, MultilevelStats, error) {
+	return pcn.PartitionMultilevel(g, cfg)
+}
+
+// ExpandMultilevel runs the multilevel partitioner on a layer-spec Net
+// without materializing neurons, with the same guarantees as
+// PartitionMultilevel.
+func ExpandMultilevel(n *Net, cfg PartitionConfig) (*PCN, MultilevelStats, error) {
+	return pcn.ExpandMultilevel(n, cfg)
+}
 
 // Mapping (§4).
 type (
