@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"snnmap/internal/codec"
 	"snnmap/internal/curve"
@@ -36,6 +37,7 @@ import (
 	"snnmap/internal/mapping"
 	"snnmap/internal/metrics"
 	"snnmap/internal/noc"
+	"snnmap/internal/obs"
 	"snnmap/internal/pcn"
 	"snnmap/internal/place"
 	"snnmap/internal/snn"
@@ -62,17 +64,30 @@ type Record struct {
 	Gomaxprocs int `json:"gomaxprocs"`
 }
 
+// SectionTime is the wall-clock total of one benchmark section — every
+// testing.Benchmark calibration run plus untimed setup, so sections sum to
+// roughly the process runtime and a slow section is attributable at a
+// glance.
+type SectionTime struct {
+	Section string `json:"section"`
+	WallMs  int64  `json:"wall_ms"`
+}
+
 // Report is the BENCH_eval.json document.
 type Report struct {
-	Tier       string   `json:"tier"`
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
+	Tier       string `json:"tier"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
 	// Warning flags artifacts whose parallel sweeps could not exercise real
 	// parallelism — set when the full tier is recorded with GOMAXPROCS=1, so
 	// a ~1.0x plateau in worker/shard speedups is read as a machine artifact
 	// rather than a regression.
 	Warning string `json:"warning,omitempty"`
-	Records []Record `json:"records"`
+	// Sections are per-section wall-clock totals; TotalWallMs covers the
+	// whole matrix.
+	Sections    []SectionTime `json:"sections"`
+	TotalWallMs int64         `json:"total_wall_ms"`
+	Records     []Record      `json:"records"`
 }
 
 func main() {
@@ -80,14 +95,41 @@ func main() {
 		tier = flag.String("tier", "full", "workload matrix: smoke (CI-sized) or full")
 		out  = flag.String("o", "BENCH_eval.json", "output file (- for stdout)")
 	)
+	var cli obs.CLI
+	flag.StringVar(&cli.TraceOut, "trace-out", "", "write per-section spans as Chrome trace-event JSON to this file (open in Perfetto or chrome://tracing)")
+	flag.StringVar(&cli.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the whole matrix to this file")
+	flag.StringVar(&cli.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 	smoke := *tier == "smoke"
 	if !smoke && *tier != "full" {
 		fmt.Fprintf(os.Stderr, "bench: unknown tier %q (smoke|full)\n", *tier)
 		os.Exit(1)
 	}
+	o, stopObs, err := cli.Start(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	obsStop = stopObs
 
 	rep := Report{Tier: *tier, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	// Section accounting: section(name) closes the previous section's
+	// wall-clock total (and trace span) and opens the next; section("")
+	// closes the last one. Benchmarked code itself runs with a nil
+	// observer — telemetry here brackets sections, never the measured ops.
+	matrixStart := time.Now()
+	var secName string
+	var secStart time.Time
+	var secSpan obs.Span
+	section := func(name string) {
+		if secName != "" {
+			rep.Sections = append(rep.Sections, SectionTime{Section: secName, WallMs: time.Since(secStart).Milliseconds()})
+			secSpan.End()
+		}
+		secName, secStart = name, time.Now()
+		if name != "" {
+			secSpan = o.Span("bench." + name)
+		}
+	}
 	if !smoke && rep.GOMAXPROCS == 1 {
 		rep.Warning = "full tier recorded with gomaxprocs=1: worker/shard sweep speedups reflect a single-core machine, not the implementation"
 		fmt.Fprintf(os.Stderr, "bench: warning: %s\n", rep.Warning)
@@ -109,6 +151,7 @@ func main() {
 	}
 
 	// --- Mapping pipeline on a real Table 3 workload ---
+	section("partition")
 	wlName := "MobileNet"
 	if smoke {
 		wlName = "LeNet-MNIST"
@@ -142,6 +185,7 @@ func main() {
 	// partition/multilevel/workers=1 records the speedup vs flat+refine,
 	// workers=N the parallel-matching scaling vs workers=1 (needs
 	// GOMAXPROCS > 1 to move — see the report-level warning field).
+	section("partitioners")
 	partSize, partWl := 131_072, "synthetic-131k"
 	if smoke {
 		partSize, partWl = 32_768, "synthetic-32k"
@@ -195,6 +239,7 @@ func main() {
 		add(fmt.Sprintf("partition/multilevel/workers=%d", workers), partWl, r, speedup)
 	}
 
+	section("initial-placement")
 	add("initial-placement", wlName, testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -204,6 +249,7 @@ func main() {
 		}
 	}), 0)
 
+	section("fd-finetune")
 	initial, err := mapping.InitialPlacement(p, mesh, curve.Hilbert{})
 	if err != nil {
 		fatal(err)
@@ -264,6 +310,19 @@ func main() {
 		add(fmt.Sprintf("fd-finetune/workers=%d", workers), fdWl, r, speedup)
 	}
 
+	// fd-finetune/obs=trace reruns the workers=1 sweep with a live trace
+	// sink attached (events discarded): its speedup field reads the cost of
+	// enabled telemetry directly — expected ~1.0x, since per-sweep spans
+	// aggregate plain local counters kept outside the hot loop.
+	obsRun := benchFD(mapping.FDConfig{Workers: 1,
+		Obs: obs.New(obs.Config{Sink: obs.NewTraceSink(io.Discard)})})
+	obsSpeedup := 0.0
+	if fdSeqNs > 0 && obsRun.NsPerOp() > 0 {
+		obsSpeedup = float64(fdSeqNs) / float64(obsRun.NsPerOp())
+	}
+	add("fd-finetune/obs=trace", fdWl, obsRun, obsSpeedup)
+
+	section("checkpoint")
 	// --- Checkpointing: interval-1 snapshot overhead and codec cost ---
 	// fd-finetune/checkpoint=1 reruns the workers=1 sweep with a snapshot
 	// captured (and discarded) every iteration — the worst-case checkpoint
@@ -305,6 +364,7 @@ func main() {
 	}), 0, snapBytes)
 
 	// --- Metrics evaluation: worker sweep on a congestion-heavy graph ---
+	section("metrics")
 	mp, mpl := metricsWorkload(smoke)
 	mwl := "synthetic-3k"
 	if smoke {
@@ -330,6 +390,7 @@ func main() {
 	}
 
 	// --- NoC simulation: event-driven engine vs full-scan reference ---
+	section("noc-sim")
 	for _, sim := range []struct {
 		name  string
 		build func() (*pcn.PCN, *place.Placement)
@@ -367,6 +428,7 @@ func main() {
 	// Speedups are measured against the shards=1 single-goroutine event
 	// engine, the baseline the tentpole targets (on a 1-core runner the
 	// gomaxprocs field above explains a ~1x plateau).
+	section("noc-sim-sharded")
 	shardSide, shardWl := 128, "dense128x128"
 	if smoke {
 		shardSide, shardWl = 64, "dense64x64"
@@ -393,6 +455,14 @@ func main() {
 		add(fmt.Sprintf("noc-sim/sharded/shards=%d", shards), shardWl, r, speedup)
 	}
 
+	section("")
+	rep.TotalWallMs = time.Since(matrixStart).Milliseconds()
+
+	obsStop = nil
+	if err := stopObs(); err != nil {
+		fatal(err)
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -405,7 +475,7 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", *out, len(rep.Records))
+	fmt.Fprintf(os.Stderr, "wrote %s (%d records, %s wall)\n", *out, len(rep.Records), (time.Duration(rep.TotalWallMs) * time.Millisecond).Round(time.Second))
 }
 
 // sweepFromEnv reads a comma-separated list of positive ints from the
@@ -624,7 +694,13 @@ func longTailWorkload() (*pcn.PCN, *place.Placement) {
 	return res.PCN, pl
 }
 
+// obsStop flushes the trace/profile outputs before a fatal exit.
+var obsStop func() error
+
 func fatal(err error) {
+	if obsStop != nil {
+		obsStop()
+	}
 	fmt.Fprintln(os.Stderr, "bench:", err)
 	os.Exit(1)
 }

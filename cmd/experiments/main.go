@@ -19,28 +19,43 @@ import (
 	"time"
 
 	"snnmap/internal/expt"
+	"snnmap/internal/obs"
 	"snnmap/internal/pcn"
 )
 
 func main() {
 	var (
-		runs     = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,fig6,fig8,fig9,fig10,fig11,fig12,fig13,sweep,headline,ablation,multicast,faults,recovery,partquality,all")
-		scaleStr = flag.String("scale", "small", "workload tier: tiny|small|medium|full")
-		seed     = flag.Int64("seed", 1, "seed for randomized methods")
-		budget   = flag.Duration("budget", 30*time.Second, "wall-clock budget per method run (0 = unlimited)")
-		workload = flag.String("workload", "ResNet", "workload for fig8/headline/ablation")
-		progress = flag.Bool("progress", true, "print per-run progress lines during sweeps")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for FD fine-tuning (build phases and the swap sweep) and metrics evaluation (1 = sequential; results are bit-identical at any count)")
-		simShards = flag.Int("sim-shards", runtime.GOMAXPROCS(0), "row-strip goroutines for the NoC simulator (1 = single goroutine; results are bit-identical at any count)")
+		runs        = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,fig6,fig8,fig9,fig10,fig11,fig12,fig13,sweep,headline,ablation,multicast,faults,recovery,partquality,all")
+		scaleStr    = flag.String("scale", "small", "workload tier: tiny|small|medium|full")
+		seed        = flag.Int64("seed", 1, "seed for randomized methods")
+		budget      = flag.Duration("budget", 30*time.Second, "wall-clock budget per method run (0 = unlimited)")
+		workload    = flag.String("workload", "ResNet", "workload for fig8/headline/ablation")
+		progress    = flag.Bool("progress", true, "print per-run progress lines during sweeps")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for FD fine-tuning (build phases and the swap sweep) and metrics evaluation (1 = sequential; results are bit-identical at any count)")
+		simShards   = flag.Int("sim-shards", runtime.GOMAXPROCS(0), "row-strip goroutines for the NoC simulator (1 = single goroutine; results are bit-identical at any count)")
 		partitioner = flag.String("partitioner", "flat", "partitioning scheme: flat (Algorithm 1) or multilevel (coarsen-partition-uncoarsen)")
 	)
+	// -progress predates the obs layer and keeps its meaning (per-run sweep
+	// lines) while also driving the live renderer, so only the three
+	// remaining observability flags are registered here.
+	var cli obs.CLI
+	flag.StringVar(&cli.TraceOut, "trace-out", "", "write phase spans and counters as Chrome trace-event JSON to this file (open in Perfetto or chrome://tracing)")
+	flag.StringVar(&cli.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&cli.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+	cli.Progress = *progress
+
+	o, stopObs, err := cli.Start(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	obsStop = stopObs
 
 	scale, err := expt.ParseScale(*scaleStr)
 	if err != nil {
 		fatal(err)
 	}
-	opts := expt.RunOptions{Seed: *seed, Budget: *budget, Workers: *workers, SimShards: *simShards}
+	opts := expt.RunOptions{Seed: *seed, Budget: *budget, Workers: *workers, SimShards: *simShards, Obs: o}
 	switch *partitioner {
 	case "flat":
 	case "multilevel":
@@ -176,9 +191,21 @@ func main() {
 			fatal(err)
 		}
 	}
+
+	obsStop = nil
+	if err := stopObs(); err != nil {
+		fatal(err)
+	}
 }
 
+// obsStop flushes the trace/profile outputs before a fatal exit so a
+// failed run still leaves a valid (truncated) trace and profile behind.
+var obsStop func() error
+
 func fatal(err error) {
+	if obsStop != nil {
+		obsStop()
+	}
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
 }

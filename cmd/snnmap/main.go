@@ -31,6 +31,7 @@ import (
 	"snnmap/internal/mapping"
 	"snnmap/internal/metrics"
 	"snnmap/internal/noc"
+	"snnmap/internal/obs"
 	"snnmap/internal/pcn"
 	"snnmap/internal/place"
 	"snnmap/internal/snn"
@@ -39,28 +40,36 @@ import (
 
 func main() {
 	var (
-		workload  = flag.String("workload", "LeNet-MNIST", "Table 3 workload name ("+strings.Join(expt.WorkloadNames(), ", ")+")")
-		netFile   = flag.String("net", "", "JSON workload description file (overrides -workload; see internal/codec net schema)")
-		method    = flag.String("method", "Proposed", "mapping method (Random, TrueNorth, DFSynthesizer, PSO, PACMAN, Annealing, Proposed, HSC, ZigZag, Circle, ...)")
-		seed      = flag.Int64("seed", 1, "seed for randomized methods")
-		budget    = flag.Duration("budget", time.Minute, "wall-clock budget (0 = unlimited)")
-		sim       = flag.Bool("sim", false, "replay the traffic through the NoC simulator (small workloads)")
-		faults    = flag.String("faults", "", "defect map: a JSON file path, or a spec like uniform:dead=0.05,links=0.02,seed=7 / clustered:dead=0.1,blobs=3 / lines:rows=1 (grows the mesh for headroom)")
-		render    = flag.Bool("render", false, "render the layer map and congestion heatmap (small meshes)")
-		multicast = flag.Bool("multicast", false, "also evaluate the multicast tree-routing energy model")
-		savePCN   = flag.String("save-pcn", "", "write the partitioned cluster network (binary) to this file")
-		savePlace = flag.String("save-placement", "", "write the placement (binary) to this file")
-		exportDot = flag.String("export-dot", "", "write the PCN as Graphviz DOT to this file")
-		exportCSV = flag.String("export-csv", "", "write the placement as CSV to this file")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for FD fine-tuning (build phases and the swap sweep) and metrics evaluation (1 = sequential; results are bit-identical at any count)")
-		simShards = flag.Int("sim-shards", runtime.GOMAXPROCS(0), "row-strip goroutines for the NoC simulator (1 = single goroutine; results are bit-identical at any count)")
-		ckptPath  = flag.String("checkpoint", "", "periodically write the fine-tuning state (self-contained snapshot, atomic replace) to this file; continue later with -resume")
-		ckptEvery = flag.Int("checkpoint-every", 32, "iterations between -checkpoint snapshots")
-		resume    = flag.String("resume", "", "resume fine-tuning from a snapshot file written by -checkpoint (bit-identical to the uninterrupted run, at any -workers count)")
-		spareRows = flag.Int("spare-rows", 0, "reserve this many extra mesh rows as hot spares for wholesale row-shift repair (grows the mesh; placement and fine-tuning leave them empty)")
+		workload    = flag.String("workload", "LeNet-MNIST", "Table 3 workload name ("+strings.Join(expt.WorkloadNames(), ", ")+")")
+		netFile     = flag.String("net", "", "JSON workload description file (overrides -workload; see internal/codec net schema)")
+		method      = flag.String("method", "Proposed", "mapping method (Random, TrueNorth, DFSynthesizer, PSO, PACMAN, Annealing, Proposed, HSC, ZigZag, Circle, ...)")
+		seed        = flag.Int64("seed", 1, "seed for randomized methods")
+		budget      = flag.Duration("budget", time.Minute, "wall-clock budget (0 = unlimited)")
+		sim         = flag.Bool("sim", false, "replay the traffic through the NoC simulator (small workloads)")
+		faults      = flag.String("faults", "", "defect map: a JSON file path, or a spec like uniform:dead=0.05,links=0.02,seed=7 / clustered:dead=0.1,blobs=3 / lines:rows=1 (grows the mesh for headroom)")
+		render      = flag.Bool("render", false, "render the layer map and congestion heatmap (small meshes)")
+		multicast   = flag.Bool("multicast", false, "also evaluate the multicast tree-routing energy model")
+		savePCN     = flag.String("save-pcn", "", "write the partitioned cluster network (binary) to this file")
+		savePlace   = flag.String("save-placement", "", "write the placement (binary) to this file")
+		exportDot   = flag.String("export-dot", "", "write the PCN as Graphviz DOT to this file")
+		exportCSV   = flag.String("export-csv", "", "write the placement as CSV to this file")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for FD fine-tuning (build phases and the swap sweep) and metrics evaluation (1 = sequential; results are bit-identical at any count)")
+		simShards   = flag.Int("sim-shards", runtime.GOMAXPROCS(0), "row-strip goroutines for the NoC simulator (1 = single goroutine; results are bit-identical at any count)")
+		ckptPath    = flag.String("checkpoint", "", "periodically write the fine-tuning state (self-contained snapshot, atomic replace) to this file; continue later with -resume")
+		ckptEvery   = flag.Int("checkpoint-every", 32, "iterations between -checkpoint snapshots")
+		resume      = flag.String("resume", "", "resume fine-tuning from a snapshot file written by -checkpoint (bit-identical to the uninterrupted run, at any -workers count)")
+		spareRows   = flag.Int("spare-rows", 0, "reserve this many extra mesh rows as hot spares for wholesale row-shift repair (grows the mesh; placement and fine-tuning leave them empty)")
 		partitioner = flag.String("partitioner", "flat", "partitioning scheme: flat (Algorithm 1) or multilevel (coarsen-partition-uncoarsen; deterministic at any -workers count)")
 	)
+	var cli obs.CLI
+	cli.Register(flag.CommandLine)
 	flag.Parse()
+
+	o, stopObs, err := cli.Start(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	obsStop = stopObs
 
 	var mlOpts *pcn.MultilevelOptions
 	switch *partitioner {
@@ -89,6 +98,7 @@ func main() {
 		}
 		cfg := pcn.DefaultPartition()
 		cfg.Multilevel = mlOpts
+		cfg.Obs = o
 		if p, err = pcn.Expand(net, cfg); err != nil {
 			fatal(err)
 		}
@@ -98,15 +108,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if mlOpts != nil {
-			p, mesh, err = wl.BuildMultilevel(mlOpts)
-		} else {
-			p, mesh, err = wl.Build()
-		}
-		if err != nil {
+		net = wl.Net()
+		// Expand directly (rather than via the workload cache) so the
+		// partitioner sees the observer and the trace covers this phase.
+		cfg := pcn.DefaultPartition()
+		cfg.Multilevel = mlOpts
+		cfg.Obs = o
+		if p, err = pcn.Expand(net, cfg); err != nil {
 			fatal(err)
 		}
-		net = wl.Net()
+		mesh = expt.MeshFor(p.NumClusters)
 	}
 	fmt.Printf("%s: %d neurons, %d synapses → %d clusters, %d connections on %v\n",
 		net.Name, net.NumNeurons(), net.NumSynapses(), p.NumClusters, p.NumEdges(), mesh)
@@ -148,10 +159,10 @@ func main() {
 		}}
 	}
 	opts := expt.RunOptions{Seed: *seed, Budget: *budget, Defects: defects, Constraints: cons,
-		Workers: *workers, SimShards: *simShards, Checkpoint: ckptCfg}
+		Workers: *workers, SimShards: *simShards, Checkpoint: ckptCfg, Obs: o}
 	var pl *place.Placement
 	if *resume != "" {
-		if pl, p, mesh, err = resumeRun(*resume, p, defects, cons, ckptCfg, *budget, *workers); err != nil {
+		if pl, p, mesh, err = resumeRun(*resume, p, defects, cons, ckptCfg, *budget, *workers, o); err != nil {
 			fatal(err)
 		}
 	} else {
@@ -186,7 +197,7 @@ func main() {
 	}
 
 	cost := hw.DefaultCostModel()
-	sum := metrics.Evaluate(p, pl, cost, metrics.Options{Workers: *workers})
+	sum := metrics.Evaluate(p, pl, cost, metrics.Options{Workers: *workers, Obs: o})
 	fmt.Printf("metrics: %s\n", sum)
 	if defects != nil {
 		if err := pl.ValidateDefects(defects); err != nil {
@@ -207,6 +218,7 @@ func main() {
 			Defects:       defects,
 			FaultAware:    defects != nil,
 			Shards:        noc.ClampShards(*simShards, mesh.Rows),
+			Obs:           o,
 		})
 		if err != nil {
 			fatal(err)
@@ -214,8 +226,9 @@ func main() {
 		fmt.Printf("NoC simulation: %d spikes delivered in %d cycles; energy=%.4g avgLat=%.2f cycles maxLat=%d avgHops=%.2f maxQueue=%d\n",
 			res.Delivered, res.Cycles, res.Energy, res.AvgLatencyCycles, res.MaxLatencyCycles, res.AvgHops, res.MaxQueueLen)
 		if defects != nil {
-			fmt.Printf("NoC degradation: delivered %.4f of %d injected spikes (%d dropped)\n",
-				res.DeliveredFraction(), res.Injected, res.Dropped)
+			fmt.Printf("NoC degradation: delivered %.4f of %d injected spikes (%d dropped: %d at setup, %d in network; %d detours)\n",
+				res.DeliveredFraction(), res.Injected, res.Dropped,
+				res.Stats.SetupDrops, res.Stats.NetworkDrops, res.Stats.Detours)
 		}
 	}
 
@@ -239,6 +252,14 @@ func main() {
 	writeFile(*savePlace, func(f *os.File) error { return codec.WritePlacement(f, pl) })
 	writeFile(*exportDot, func(f *os.File) error { return codec.WriteDOT(f, p, 0) })
 	writeFile(*exportCSV, func(f *os.File) error { return codec.WritePlacementCSV(f, pl) })
+
+	obsStop = nil
+	if err := stopObs(); err != nil {
+		fatal(err)
+	}
+	if cli.TraceOut != "" {
+		fmt.Printf("wrote %s\n", cli.TraceOut)
+	}
 }
 
 // loadDefects resolves the -faults flag: an existing file is read as a
@@ -293,7 +314,7 @@ func specDeadFrac(spec string) (float64, bool) {
 // embedded PCN (if any) replaces the workload-derived one, the mesh comes
 // from the snapshot's placement, and the run proceeds bit-identically to the
 // uninterrupted original at any -workers count.
-func resumeRun(path string, p *pcn.PCN, defects *hw.DefectMap, cons hw.Constraints, ckpt *mapping.CheckpointConfig, budget time.Duration, workers int) (*place.Placement, *pcn.PCN, hw.Mesh, error) {
+func resumeRun(path string, p *pcn.PCN, defects *hw.DefectMap, cons hw.Constraints, ckpt *mapping.CheckpointConfig, budget time.Duration, workers int, o *obs.Observer) (*place.Placement, *pcn.PCN, hw.Mesh, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, hw.Mesh{}, err
@@ -322,6 +343,7 @@ func resumeRun(path string, p *pcn.PCN, defects *hw.DefectMap, cons hw.Constrain
 		Constraints: cons,
 		Workers:     workers,
 		Checkpoint:  ckpt,
+		Obs:         o,
 	})
 	if err != nil {
 		return nil, nil, hw.Mesh{}, err
@@ -384,7 +406,14 @@ func writeFile(path string, write func(*os.File) error) {
 	fmt.Printf("wrote %s\n", path)
 }
 
+// obsStop flushes the trace/profile outputs before a fatal exit so a
+// failed run still leaves a valid (truncated) trace and profile behind.
+var obsStop func() error
+
 func fatal(err error) {
+	if obsStop != nil {
+		obsStop()
+	}
 	fmt.Fprintln(os.Stderr, "snnmap:", err)
 	os.Exit(1)
 }

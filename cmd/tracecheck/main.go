@@ -1,0 +1,59 @@
+// Command tracecheck validates Chrome trace-event JSON files written by
+// the -trace-out flag (internal/obs): the file must be a well-formed JSON
+// array of known event phases with non-decreasing per-track timestamps and
+// a balanced, name-matched B/E span stack. CI runs it on the trace
+// artifact of a small mapping run.
+//
+// Usage:
+//
+//	tracecheck trace.json [more.json ...]
+//	snnmap -workload LeNet-MNIST -trace-out /dev/stdout | tracecheck -
+//
+// Exit status is 0 when every input validates, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snnmap/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>... (- for stdin)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		st, err := check(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: ok — %d events (%d spans, %d counter samples, %d instants, max depth %d)\n",
+			path, st.Events, st.Spans, st.Counters, st.Instants, st.MaxDepth)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func check(path string) (obs.TraceStats, error) {
+	if path == "-" {
+		return obs.ValidateTrace(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return obs.TraceStats{}, err
+	}
+	defer f.Close()
+	return obs.ValidateTrace(f)
+}

@@ -7,7 +7,6 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"os"
 	"text/tabwriter"
 
@@ -38,12 +37,12 @@ func main() {
 func mapAndScore(net *snnmap.Net, cons snnmap.Constraints, tw *tabwriter.Writer, name string, fits bool, refEnergy float64) float64 {
 	p, err := snnmap.Expand(net, snnmap.PartitionConfig{Constraints: cons})
 	if err != nil {
-		log.Fatalf("%s: %v", name, err)
+		fatal(fmt.Errorf("%s: %w", name, err))
 	}
 	mesh := snnmap.MeshFor(p.NumClusters)
 	res, err := snnmap.Map(p, mesh, snnmap.DefaultConfig())
 	if err != nil {
-		log.Fatalf("%s: %v", name, err)
+		fatal(fmt.Errorf("%s: %w", name, err))
 	}
 	sum := snnmap.Evaluate(p, res.Placement, snnmap.DefaultCostModel(),
 		snnmap.MetricOptions{Congestion: snnmap.CongestionSkip})
@@ -58,4 +57,9 @@ func mapAndScore(net *snnmap.Net, cons snnmap.Constraints, tw *tabwriter.Writer,
 	fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%s\t%.2f\n",
 		name, cons.NeuronsPerCore, p.NumClusters, mesh, fitsStr, rel)
 	return sum.Energy
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "customhw:", err)
+	os.Exit(1)
 }

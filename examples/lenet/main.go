@@ -6,7 +6,6 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"os"
 	"text/tabwriter"
 	"time"
@@ -18,7 +17,7 @@ func main() {
 	net := snnmap.LeNetMNIST()
 	p, err := snnmap.Expand(net, snnmap.DefaultPartition())
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	mesh := snnmap.MeshFor(p.NumClusters)
 	fmt.Printf("%s: %d neurons / %d synapses → %d clusters on %v\n\n",
@@ -66,7 +65,7 @@ func main() {
 		start := time.Now()
 		pl, err := a.run()
 		if err != nil {
-			log.Fatalf("%s: %v", a.name, err)
+			fatal(fmt.Errorf("%s: %w", a.name, err))
 		}
 		elapsed := time.Since(start)
 		sum := snnmap.Evaluate(p, pl, cost, snnmap.MetricOptions{})
@@ -79,4 +78,9 @@ func main() {
 	}
 	tw.Flush()
 	fmt.Println("\n(metrics normalized to Random; lower is better)")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lenet:", err)
+	os.Exit(1)
 }

@@ -7,12 +7,16 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"snnmap"
 )
 
 func main() {
+	// Optional: a progress observer. Every pipeline config accepts one;
+	// it renders live phase progress to stderr and never changes results.
+	o := snnmap.NewObserver(snnmap.ObserverConfig{OnProgress: snnmap.ProgressRenderer(os.Stderr)})
+
 	// 1. Describe the application: a 4-layer spiking MLP, 512 neurons per
 	// layer, adjacent layers fully connected.
 	net := snnmap.SynthDNN("my-mlp", 4, 512)
@@ -24,17 +28,20 @@ func main() {
 	// non-trivial even for this toy network.
 	p, err := snnmap.Expand(net, snnmap.PartitionConfig{
 		Constraints: snnmap.Constraints{NeuronsPerCore: 128},
+		Obs:         o,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("partitioned:  %d clusters, %d connections\n", p.NumClusters, p.NumEdges())
 
 	// 3. Map onto the smallest square mesh that fits.
 	mesh := snnmap.MeshFor(p.NumClusters)
-	res, err := snnmap.Map(p, mesh, snnmap.DefaultConfig())
+	cfg := snnmap.DefaultConfig()
+	cfg.Obs = o
+	res, err := snnmap.Map(p, mesh, cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("mapped onto %v in %v (%d FD iterations, %d swaps)\n",
 		mesh, res.Elapsed, res.FD.Iterations, res.FD.Swaps)
@@ -44,10 +51,15 @@ func main() {
 	ours := snnmap.Evaluate(p, res.Placement, cost, snnmap.MetricOptions{})
 	rnd, _, err := snnmap.RandomPlacement(p, mesh, snnmap.BaselineOptions{Seed: 1})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	base := snnmap.Evaluate(p, rnd, cost, snnmap.MetricOptions{})
 	n := ours.Normalize(base)
 	fmt.Printf("vs random:    energy ×%.2f, avg latency ×%.2f, max congestion ×%.2f\n",
 		n.Energy, n.AvgLatency, n.MaxCongestion)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "quickstart:", err)
+	os.Exit(1)
 }

@@ -12,8 +12,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"math/rand"
+	"os"
 
 	"snnmap"
 )
@@ -44,14 +44,14 @@ func main() {
 	cfg := snnmap.PartitionConfig{Constraints: snnmap.Constraints{NeuronsPerCore: size}}
 	initial, err := snnmap.Partition(g, cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("sequential partition: %d clusters, cut traffic %.0f (internal %.0f)\n",
 		initial.PCN.NumClusters, initial.PCN.TotalWeight(), initial.PCN.InternalTraffic)
 
 	refined, stats, err := snnmap.RefinePartition(g, initial, snnmap.RefineConfig{Config: cfg})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("after KL refinement:  cut %.0f → %.0f (−%.1f%%) in %d passes, %d moves\n",
 		stats.CutBefore, stats.CutAfter, 100*(1-stats.CutAfter/stats.CutBefore), stats.Passes, stats.Moves)
@@ -65,7 +65,7 @@ func main() {
 		mesh := snnmap.MeshFor(c.pcn.NumClusters)
 		res, err := snnmap.Map(c.pcn, mesh, snnmap.DefaultConfig())
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		sum := snnmap.Evaluate(c.pcn, res.Placement, cost, snnmap.MetricOptions{})
 		fmt.Printf("mapped %-10s energy=%.4g avgLat=%.3f maxCon=%.4g\n", c.name+":", sum.Energy, sum.AvgLatency, sum.MaxCongestion)
@@ -83,19 +83,24 @@ func main() {
 		{"decay ×0.6/layer", snnmap.DecayRate(1, 0.6)},
 	} {
 		if err := snnmap.ApplyRates(net, prof.p); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		p, err := snnmap.Expand(net, snnmap.DefaultPartition())
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		mesh := snnmap.MeshFor(p.NumClusters)
 		res, err := snnmap.Map(p, mesh, snnmap.DefaultConfig())
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		sum := snnmap.Evaluate(p, res.Placement, cost, snnmap.MetricOptions{})
 		fmt.Printf("LeNet-MNIST with %-18s total traffic %.4g, mapped energy %.4g\n",
 			prof.name+":", p.TotalWeight(), sum.Energy)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "refine:", err)
+	os.Exit(1)
 }

@@ -149,7 +149,7 @@ func Fig8(w io.Writer, workload string, opts RunOptions) error {
 		if err != nil {
 			return fmt.Errorf("method %s: %w", m.Name, err)
 		}
-		sum := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{Workers: opts.Workers})
+		sum := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{Workers: opts.Workers, Obs: opts.Obs})
 		if i == 0 {
 			base = sum
 		}
@@ -175,22 +175,28 @@ type SweepRow struct {
 }
 
 // Sweep runs the §5.3 comparison lineup over every workload in the scale
-// tier. progress (optional) receives one line per finished run.
+// tier. progress (optional) receives one line per finished run; opts.Obs
+// (optional) additionally receives a "sweep" progress stream counting
+// finished (workload, method) runs.
 func Sweep(scale Scale, opts RunOptions, progress io.Writer) ([]SweepRow, error) {
 	opts = opts.withDefaults()
 	var rows []SweepRow
-	for _, wl := range Workloads(scale) {
+	wls := Workloads(scale)
+	methods := ComparisonMethods()
+	total := int64(len(wls) * len(methods))
+	var done int64
+	for _, wl := range wls {
 		p, mesh, err := buildFor(wl, opts)
 		if err != nil {
 			return nil, fmt.Errorf("build %s: %w", wl.Name, err)
 		}
 		var base metrics.Summary
-		for i, m := range ComparisonMethods() {
+		for i, m := range methods {
 			pl, stats, err := m.Run(p, mesh, opts)
 			if err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", m.Name, wl.Name, err)
 			}
-			sum := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{Workers: opts.Workers})
+			sum := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{Workers: opts.Workers, Obs: opts.Obs})
 			if i == 0 {
 				base = sum
 			}
@@ -199,6 +205,8 @@ func Sweep(scale Scale, opts RunOptions, progress io.Writer) ([]SweepRow, error)
 				Elapsed: stats.Elapsed, EarlyStopped: stats.EarlyStopped,
 				Metrics: sum, Norm: sum.Normalize(base),
 			})
+			done++
+			opts.Obs.Progress("sweep", done, total)
 			if progress != nil {
 				fmt.Fprintf(progress, "# %-14s %-14s %10s%s  %s\n",
 					wl.Name, m.Name, fmtDuration(stats.Elapsed), esMark(stats.EarlyStopped), sum)
@@ -319,7 +327,7 @@ func Headline(w io.Writer, workload string, opts RunOptions) error {
 		return err
 	}
 	fmt.Fprintf(w, "proposed approach solved in %s%s\n", fmtDuration(stats.Elapsed), esMark(stats.EarlyStopped))
-	sum := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{Workers: opts.Workers})
+	sum := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{Workers: opts.Workers, Obs: opts.Obs})
 	fmt.Fprintf(w, "metrics: %s\n", sum)
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"snnmap/internal/curve"
 	"snnmap/internal/hw"
 	"snnmap/internal/mapping"
+	"snnmap/internal/obs"
 	"snnmap/internal/pcn"
 	"snnmap/internal/place"
 )
@@ -47,6 +48,11 @@ type RunOptions struct {
 	// coarsen–partition–uncoarsen scheme instead of the flat Algorithm 1
 	// pipeline (-partitioner=multilevel on the CLIs).
 	Multilevel *pcn.MultilevelOptions
+	// Obs receives phase spans, hot-loop counters and throttled progress
+	// from every stage a run touches (partitioning, FD fine-tuning, metric
+	// evaluation, sweep progress). Nil disables telemetry. Observe-only:
+	// results are bit-identical with or without an observer.
+	Obs *obs.Observer
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -73,7 +79,9 @@ type Method struct {
 func curveMethod(name string, c curve.Curve) Method {
 	return Method{Name: name, Run: func(p *pcn.PCN, mesh hw.Mesh, opts RunOptions) (*place.Placement, MethodStats, error) {
 		start := time.Now()
+		sp := opts.Obs.Span("placement", obs.KV{K: "clusters", V: float64(p.NumClusters)})
 		pl, err := mapping.InitialPlacementDefects(p, mesh, c, opts.Defects, opts.Constraints)
+		sp.End()
 		return pl, MethodStats{Elapsed: time.Since(start)}, err
 	}}
 }
@@ -84,16 +92,20 @@ func fdMethod(name string, c curve.Curve, pot func(hw.CostModel) mapping.Potenti
 		start := time.Now()
 		var pl *place.Placement
 		var err error
+		sp := opts.Obs.Span("placement", obs.KV{K: "clusters", V: float64(p.NumClusters)})
 		if c != nil {
 			pl, err = mapping.InitialPlacementDefects(p, mesh, c, opts.Defects, opts.Constraints)
 		} else if opts.Defects.NumDead() > 0 {
+			sp.End()
 			return nil, MethodStats{}, fmt.Errorf("expt: method %s: random initial placement does not support defect maps", name)
 		} else {
 			pl, _, err = baseline.Random(p, mesh, baseline.Options{Seed: opts.Seed})
 		}
+		sp.End()
 		if err != nil {
 			return nil, MethodStats{}, err
 		}
+		ftSp := opts.Obs.Span("finetune")
 		stats, err := mapping.Finetune(p, pl, mapping.FDConfig{
 			Potential:   pot(opts.Cost),
 			Budget:      opts.Budget,
@@ -101,10 +113,16 @@ func fdMethod(name string, c curve.Curve, pot func(hw.CostModel) mapping.Potenti
 			Constraints: opts.Constraints,
 			Workers:     opts.Workers,
 			Checkpoint:  opts.Checkpoint,
+			Obs:         opts.Obs,
 		})
 		if err != nil {
+			ftSp.End()
 			return nil, MethodStats{}, err
 		}
+		ftSp.End(
+			obs.KV{K: "iterations", V: float64(stats.Iterations)},
+			obs.KV{K: "swaps", V: float64(stats.Swaps)},
+			obs.KV{K: "final_energy", V: stats.FinalEnergy})
 		return pl, MethodStats{Elapsed: time.Since(start), EarlyStopped: !stats.Converged}, nil
 	}}
 }

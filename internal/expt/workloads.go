@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"snnmap/internal/hw"
+	"snnmap/internal/obs"
 	"snnmap/internal/pcn"
 	"snnmap/internal/snn"
 )
@@ -104,12 +105,28 @@ func (w *Workload) BuildMultilevel(opts *pcn.MultilevelOptions) (*pcn.PCN, hw.Me
 
 // buildFor resolves a workload's PCN under the run options: the multilevel
 // partitioner when opts.Multilevel is set, the cached flat expansion
-// otherwise.
+// otherwise. The multilevel path threads opts.Obs into the partitioner for
+// per-level telemetry; the cached flat path wraps the (possibly memoized)
+// build in a span so partitioning time still shows up on the trace.
 func buildFor(w *Workload, opts RunOptions) (*pcn.PCN, hw.Mesh, error) {
 	if opts.Multilevel != nil {
-		return w.BuildMultilevel(opts.Multilevel)
+		cfg := pcn.DefaultPartition()
+		cfg.Multilevel = opts.Multilevel
+		cfg.Obs = opts.Obs
+		p, _, err := pcn.ExpandMultilevel(w.Net(), cfg)
+		if err != nil {
+			return nil, hw.Mesh{}, err
+		}
+		return p, MeshFor(p.NumClusters), nil
 	}
-	return w.Build()
+	sp := opts.Obs.Span("workload.build:" + w.Name)
+	p, mesh, err := w.Build()
+	if err != nil {
+		sp.End()
+		return nil, hw.Mesh{}, err
+	}
+	sp.End(obs.KV{K: "clusters", V: float64(p.NumClusters)})
+	return p, mesh, nil
 }
 
 // MeshFor returns the smallest square mesh holding n clusters — the sizing

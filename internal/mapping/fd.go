@@ -10,6 +10,7 @@ import (
 
 	"snnmap/internal/geom"
 	"snnmap/internal/hw"
+	"snnmap/internal/obs"
 	"snnmap/internal/pcn"
 	"snnmap/internal/place"
 )
@@ -73,6 +74,13 @@ type FDConfig struct {
 	// the engine state is exactly a loop-head state — the invariant that
 	// makes resumption bit-identical to the uninterrupted run.
 	Checkpoint *CheckpointConfig
+	// Obs receives per-sweep spans, counters (swaps, tension checks,
+	// speculation hits, queue sizes), and throttled progress; nil disables
+	// telemetry. Observe-only: hot-loop bookkeeping stays in plain local
+	// counters published at sweep boundaries, so attaching an observer
+	// never changes the placement or FDStats produced. Not part of
+	// snapshots.
+	Obs *obs.Observer
 }
 
 // CheckpointConfig configures FDConfig.Checkpoint hooks.
@@ -259,6 +267,17 @@ func (e *fdEngine) run(ctx context.Context, cfg FDConfig, queue []pairTension, s
 		}
 		stats.Iterations++
 
+		// Telemetry wraps the sweep with a span and publishes the hot-loop
+		// counters as before/after deltas; everything here is observe-only.
+		var sweepSp obs.Span
+		var swaps0, checks0, spec0 int64
+		if cfg.Obs.Enabled() {
+			sweepSp = cfg.Obs.Span("fd.sweep",
+				obs.KV{K: "iter", V: float64(stats.Iterations)},
+				obs.KV{K: "queue", V: float64(len(queue))})
+			swaps0, checks0, spec0 = stats.Swaps, stats.TensionChecks, e.specHits
+		}
+
 		// Swap the top λ fraction of the queue (lines 17-29).
 		e.beginEpoch()
 		e.applyBatch(ctx, queue[:swapLimit(cfg.Lambda, len(queue))], minGain, &stats)
@@ -267,6 +286,15 @@ func (e *fdEngine) run(ctx context.Context, cfg FDConfig, queue []pairTension, s
 		// current pairs, add every pair touching an affected cluster,
 		// recompute tensions and drop non-positive entries.
 		queue = e.nextQueue(queue, minGain, &stats.TensionChecks)
+
+		if cfg.Obs.Enabled() {
+			sweepSp.End(
+				obs.KV{K: "swaps", V: float64(stats.Swaps - swaps0)},
+				obs.KV{K: "checks", V: float64(stats.TensionChecks - checks0)},
+				obs.KV{K: "spec_hits", V: float64(e.specHits - spec0)},
+				obs.KV{K: "next_queue", V: float64(len(queue))})
+			cfg.Obs.Progress("fd", int64(stats.Iterations), int64(cfg.MaxIterations))
+		}
 	}
 
 	stats.Converged = len(queue) == 0
@@ -338,6 +366,13 @@ type fdEngine struct {
 	// so steady-state iterations allocate nothing.
 	ids  []int32
 	tens []float64
+
+	// specHits counts batch entries whose speculated tension was consumed
+	// verbatim. Telemetry only, published per sweep through FDConfig.Obs —
+	// deliberately NOT part of FDStats: the speculation path only runs with
+	// Workers > 1, so the value is worker-dependent while FDStats must stay
+	// bit-identical at any worker count.
+	specHits int64
 }
 
 func newFDEngine(p *pcn.PCN, pl *place.Placement, cfg FDConfig) *fdEngine {
@@ -616,6 +651,7 @@ func (e *fdEngine) applyBatch(ctx context.Context, batch []pairTension, minGain 
 		var t float64
 		if spec != nil && !e.batchDirty(id) {
 			t = spec[i]
+			e.specHits++
 		} else {
 			t = e.tension(id)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"snnmap/internal/curve"
 	"snnmap/internal/hw"
+	"snnmap/internal/obs"
 	"snnmap/internal/pcn"
 	"snnmap/internal/place"
 )
@@ -48,6 +49,11 @@ type Config struct {
 	// Constraints is the per-core capacity baseline that Defects' degrade
 	// scales apply to (zero value = unconstrained).
 	Constraints hw.Constraints
+	// Obs receives phase spans ("placement", "finetune", "polish") and is
+	// forwarded to each FD phase unless that phase's FDConfig already
+	// carries its own observer. Nil disables telemetry; observe-only either
+	// way.
+	Obs *obs.Observer
 }
 
 // Default returns the paper's proposed approach (HSC + FD with u_c).
@@ -88,7 +94,9 @@ func MapContext(ctx context.Context, p *pcn.PCN, mesh hw.Mesh, cfg Config) (Resu
 	if c == nil {
 		c = curve.Hilbert{}
 	}
+	placeSp := cfg.Obs.Span("placement", obs.KV{K: "clusters", V: float64(p.NumClusters)})
 	pl, err := InitialPlacementDefects(p, mesh, c, cfg.Defects, cfg.Constraints)
+	placeSp.End()
 	if err != nil {
 		return Result{}, fmt.Errorf("mapping: initial placement: %w", err)
 	}
@@ -124,11 +132,20 @@ func MapContext(ctx context.Context, p *pcn.PCN, mesh hw.Mesh, cfg Config) (Resu
 			wrapped.Interval = user.Interval
 		}
 		fdcfg.Checkpoint = &wrapped
+		if fdcfg.Obs == nil {
+			fdcfg.Obs = cfg.Obs
+		}
+		phaseSp := cfg.Obs.Span(phase.name)
 		*phase.out, err = FinetuneContext(ctx, p, pl, fdcfg)
 		if err != nil {
+			phaseSp.End()
 			res.Elapsed = time.Since(start)
 			return res, fmt.Errorf("mapping: %s: %w", phase.name, err)
 		}
+		phaseSp.End(
+			obs.KV{K: "iterations", V: float64(phase.out.Iterations)},
+			obs.KV{K: "swaps", V: float64(phase.out.Swaps)},
+			obs.KV{K: "final_energy", V: phase.out.FinalEnergy})
 	}
 	res.Snapshot = nil
 	res.Elapsed = time.Since(start)

@@ -6,9 +6,11 @@ package metrics
 
 import (
 	"fmt"
+	"time"
 
 	"snnmap/internal/geom"
 	"snnmap/internal/hw"
+	"snnmap/internal/obs"
 	"snnmap/internal/pcn"
 	"snnmap/internal/place"
 )
@@ -86,6 +88,11 @@ type Options struct {
 	// partials are reduced in chunk order, and the sequential path uses
 	// the same chunked reduction.
 	Workers int
+	// Obs receives an "metrics.evaluate" span and a worker-utilization
+	// counter; nil disables telemetry. Observe-only: chunk boundaries,
+	// reduction order and every Summary value are identical with or
+	// without an observer.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -127,6 +134,13 @@ func Evaluate(p *pcn.PCN, pl *place.Placement, cost hw.CostModel, opts Options) 
 	opts = opts.withDefaults()
 	var s Summary
 	mesh := pl.Mesh
+	sp := opts.Obs.Span("metrics.evaluate",
+		obs.KV{K: "clusters", V: float64(p.NumClusters)},
+		obs.KV{K: "edges", V: float64(p.NumEdges())})
+	wallStart := time.Time{}
+	if opts.Obs.Enabled() {
+		wallStart = time.Now()
+	}
 
 	// The sampled-mode stride depends only on the edge count, so it is
 	// known before the walk: the sampled traffic share is accumulated in
@@ -138,7 +152,18 @@ func Evaluate(p *pcn.PCN, pl *place.Placement, cost hw.CostModel, opts Options) 
 	n := p.NumClusters
 	k := chunksOf(n)
 	partials := make([]evalPartial, k)
+	// Per-chunk busy durations, indexed by chunk so the sum below runs in
+	// chunk order regardless of which worker timed which chunk. Only
+	// allocated when telemetry is on; the walk itself is untouched.
+	var busy []time.Duration
+	if opts.Obs.Enabled() {
+		busy = make([]time.Duration, k)
+	}
 	runChunks(opts.Workers, k, func(ci int) {
+		if busy != nil {
+			t0 := time.Now()
+			defer func() { busy[ci] = time.Since(t0) }()
+		}
 		lo, hi := ci*n/k, (ci+1)*n/k
 		pt := &partials[ci]
 		for c := lo; c < hi; c++ {
@@ -211,6 +236,27 @@ func Evaluate(p *pcn.PCN, pl *place.Placement, cost hw.CostModel, opts Options) 
 		s.MaxCongestion = maxOf(grid)
 	case CongestionSkip:
 	}
+	if opts.Obs.Enabled() {
+		var busyTotal time.Duration
+		for _, d := range busy { // chunk order, not completion order
+			busyTotal += d
+		}
+		wall := time.Since(wallStart)
+		workers := max(opts.Workers, 1)
+		util := 0.0
+		if wall > 0 {
+			util = float64(busyTotal) / (float64(wall) * float64(workers))
+		}
+		opts.Obs.Counter("metrics.utilization",
+			obs.KV{K: "workers", V: float64(workers)},
+			obs.KV{K: "busy_ns", V: float64(busyTotal)},
+			obs.KV{K: "wall_ns", V: float64(wall)},
+			obs.KV{K: "util", V: util})
+	}
+	sp.End(
+		obs.KV{K: "energy", V: s.Energy},
+		obs.KV{K: "avg_latency", V: s.AvgLatency},
+		obs.KV{K: "max_congestion", V: s.MaxCongestion})
 	return s
 }
 

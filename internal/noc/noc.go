@@ -35,6 +35,7 @@ import (
 
 	"snnmap/internal/geom"
 	"snnmap/internal/hw"
+	"snnmap/internal/obs"
 	"snnmap/internal/pcn"
 	"snnmap/internal/place"
 )
@@ -138,6 +139,12 @@ type Config struct {
 	// phase runs on the coordinator while injection and the
 	// collect/deliver scan still fan out.
 	Shards int
+	// Obs receives a run span, throttled progress, and per-shard counters
+	// (flits, hops, drops, detours, stalls) emitted in strip order after
+	// the run; nil disables telemetry. Observe-only: the simulation and its
+	// Result are bit-identical with or without it. Only the event-driven
+	// drivers emit; SimulateReference stays the pristine oracle.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -233,6 +240,29 @@ type Result struct {
 	Stalls int64
 	// InjectionStalls counts injections deferred by a full source queue.
 	InjectionStalls int64
+	// Stats breaks the fault accounting down (previously only reachable
+	// through metrics.Degradation). All three drivers compute it at the
+	// same decision sites, so it is part of the bit-identity contract.
+	Stats Stats
+}
+
+// Stats is the per-run drop/detour breakdown on a Result.
+type Stats struct {
+	// SetupDrops counts spikes dropped while building the injection
+	// schedule: an endpoint was dead, or source and destination sat in
+	// mesh regions disconnected by faults. These spikes never enter the
+	// network.
+	SetupDrops int64
+	// NetworkDrops counts spikes dropped in flight: a failed
+	// dimension-ordered next hop without FaultAware routing, no usable
+	// port, an exhausted detour budget, or the in-flight age cap. Filled
+	// by finish(), so it is zero on a run that ended in an error. Always
+	// SetupDrops + NetworkDrops == Dropped on a completed run.
+	NetworkDrops int64
+	// Detours counts (re-)entries into sticky detour mode at a blocked
+	// port — the number of times fault-aware routing had to steer a flit
+	// off its dimension-ordered path (nonzero only with FaultAware).
+	Detours int64
 }
 
 // DeliveredFraction returns Delivered/Injected — the degradation headline of
@@ -394,6 +424,7 @@ func newSimState(p *pcn.PCN, pl *place.Placement, cfg Config) (*simState, error)
 			if s.defects.IsDead(int(src)) || s.defects.IsDead(int(dst)) ||
 				(comp != nil && comp[src] != comp[dst]) {
 				s.res.Dropped += n
+				s.res.Stats.SetupDrops += n
 				continue
 			}
 			s.trains = append(s.trains, train{src: src, dst: dst, count: int32(n)})
@@ -573,6 +604,7 @@ func (s *simState) finish() Result {
 		s.res.AvgLatencyCycles = float64(s.latencySum) / float64(s.res.Delivered)
 		s.res.AvgHops = float64(s.res.WireTraversals) / float64(s.res.Delivered)
 	}
+	s.res.Stats.NetworkDrops = s.res.Dropped - s.res.Stats.SetupDrops
 	return s.res
 }
 
@@ -609,10 +641,28 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 	if err != nil {
 		return Result{}, err
 	}
+	sp := s.cfg.Obs.Span("noc.sim",
+		obs.KV{K: "spikes", V: float64(s.res.Injected)},
+		obs.KV{K: "shards", V: float64(s.cfg.Shards)})
+	res, err := simulateEvent(ctx, s)
+	if err != nil {
+		sp.End()
+		return res, err
+	}
+	sp.End(
+		obs.KV{K: "cycles", V: float64(res.Cycles)},
+		obs.KV{K: "delivered", V: float64(res.Delivered)},
+		obs.KV{K: "dropped", V: float64(res.Dropped)})
+	return res, nil
+}
+
+// simulateEvent runs the event-driven engine: the single-goroutine
+// whole-mesh strip, or the sharded coordinator when Shards >= 2.
+func simulateEvent(ctx context.Context, s *simState) (Result, error) {
 	if s.cfg.Shards >= 2 {
 		return simulateSharded(ctx, s)
 	}
-	cfg = s.cfg
+	cfg := s.cfg
 
 	// Single-goroutine event engine: one strip spanning the whole mesh,
 	// driven inline with no barriers. The strip primitives (inject,
@@ -626,6 +676,9 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 	// unreachable destination forever is detected, not just a full stop.
 	lastProgress := int64(-1)
 	lastProgressCycle := 0
+	// ffSkipped counts idle cycles jumped by fast-forward (telemetry only;
+	// never part of Result — the reference oracle has no fast-forward).
+	var ffSkipped int64
 
 	for cycle := 0; ; cycle++ {
 		inFlight := st.acc.injections - st.acc.exited
@@ -642,6 +695,9 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 		} else if cycle-lastProgressCycle > cfg.WatchdogCycles {
 			return s.mergeStrips(st), fmt.Errorf("noc: no forward progress for %d cycles with %d spikes in flight (delivered %d, dropped %d): %w",
 				cfg.WatchdogCycles, inFlight, delivered, dropped, ErrLivelock)
+		}
+		if cfg.Obs.Enabled() && cycle&4095 == 0 {
+			cfg.Obs.Progress("noc.sim", delivered+dropped, s.res.Injected)
 		}
 		if len(st.trains) > 0 && cycle%cfg.InjectionInterval == 0 {
 			st.inject(cycle)
@@ -660,6 +716,7 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 				next = cfg.MaxCycles + 1
 			}
 			if next-1 > cycle {
+				ffSkipped += int64(next - 1 - cycle)
 				cycle = next - 1
 			}
 			continue
@@ -670,5 +727,26 @@ func SimulateContext(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg C
 	}
 
 	s.mergeStrips(st)
+	if cfg.Obs.Enabled() {
+		cfg.Obs.Counter("noc.fastforward", obs.KV{K: "skipped_cycles", V: float64(ffSkipped)})
+		emitShardCounters(cfg.Obs, st)
+		cfg.Obs.Progress("noc.sim", s.res.Delivered+s.res.Dropped, s.res.Injected)
+	}
 	return s.finish(), nil
+}
+
+// emitShardCounters publishes one "noc.shard" counter sample per strip, in
+// strip order — a fixed aggregation order regardless of how the strips'
+// goroutines interleaved.
+func emitShardCounters(o *obs.Observer, strips ...*strip) {
+	for i, st := range strips {
+		o.Counter("noc.shard",
+			obs.KV{K: "shard", V: float64(i)},
+			obs.KV{K: "flits", V: float64(st.acc.injections)},
+			obs.KV{K: "hops", V: float64(st.acc.wire)},
+			obs.KV{K: "drops", V: float64(st.acc.dropped)},
+			obs.KV{K: "detours", V: float64(st.acc.detours)},
+			obs.KV{K: "stalls", V: float64(st.acc.stalls)},
+			obs.KV{K: "max_queue", V: float64(st.acc.maxQueue)})
+	}
 }

@@ -69,6 +69,7 @@ func SimulateReference(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg
 				port, drop, blocked := s.routePort(int(t.src), f)
 				if blocked && !drop {
 					f.detour = uint8(s.detourHops)
+					s.res.Stats.Detours++
 				}
 				if drop {
 					t.count--
@@ -140,6 +141,7 @@ func SimulateReference(ctx context.Context, p *pcn.PCN, pl *place.Placement, cfg
 			src.pop()
 			if blocked {
 				f.detour = uint8(s.detourHops)
+				s.res.Stats.Detours++
 			} else if f.detour > 0 {
 				f.detour--
 			}

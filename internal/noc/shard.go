@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+
+	"snnmap/internal/obs"
 )
 
 // This file implements sharded simulation: the mesh is partitioned into
@@ -57,6 +59,7 @@ type accum struct {
 	wire       int64
 	stalls     int64
 	injStalls  int64
+	detours    int64 // sticky detour-mode entries at blocked ports
 	maxLatency int
 	maxQueue   int
 }
@@ -132,6 +135,7 @@ func (st *strip) inject(cycle int) {
 		port, drop, blocked := s.routePort(int(t.src), f)
 		if blocked && !drop {
 			f.detour = uint8(s.detourHops)
+			st.acc.detours++
 		}
 		if drop {
 			t.count--
@@ -222,6 +226,7 @@ func (st *strip) collect(cycle int, preDecide bool) {
 			}
 			if blocked {
 				f.detour = uint8(s.detourHops)
+				st.acc.detours++
 			} else if f.detour > 0 {
 				f.detour--
 			}
@@ -275,6 +280,7 @@ func (s *simState) applyCand(c stripCand, cycle int, dst *strip) {
 	src.pop()
 	if blocked {
 		f.detour = uint8(s.detourHops)
+		dst.acc.detours++
 	} else if f.detour > 0 {
 		f.detour--
 	}
@@ -352,6 +358,7 @@ func (s *simState) mergeStrips(strips ...*strip) Result {
 		s.res.WireTraversals += st.acc.wire
 		s.res.Stalls += st.acc.stalls
 		s.res.InjectionStalls += st.acc.injStalls
+		s.res.Stats.Detours += st.acc.detours
 		if st.acc.maxLatency > s.res.MaxLatencyCycles {
 			s.res.MaxLatencyCycles = st.acc.maxLatency
 		}
@@ -478,6 +485,9 @@ func simulateSharded(ctx context.Context, s *simState) (Result, error) {
 
 	lastProgress := int64(-1)
 	lastProgressCycle := 0
+	// ffSkipped counts idle cycles jumped by fast-forward (telemetry only;
+	// never part of Result — the reference oracle has no fast-forward).
+	var ffSkipped int64
 
 	for cycle := 0; ; cycle++ {
 		// Merged tallies as of the end of the previous cycle (workers are
@@ -504,6 +514,9 @@ func simulateSharded(ctx context.Context, s *simState) (Result, error) {
 		} else if cycle-lastProgressCycle > cfg.WatchdogCycles {
 			return s.mergeStrips(strips...), fmt.Errorf("noc: no forward progress for %d cycles with %d spikes in flight (delivered %d, dropped %d): %w",
 				cfg.WatchdogCycles, inFlight, delivered, dropped, ErrLivelock)
+		}
+		if cfg.Obs.Enabled() && cycle&4095 == 0 {
+			cfg.Obs.Progress("noc.sim", delivered+dropped, s.res.Injected)
 		}
 
 		doInject := pendingTrains() > 0 && cycle%cfg.InjectionInterval == 0
@@ -535,6 +548,7 @@ func simulateSharded(ctx context.Context, s *simState) (Result, error) {
 				next = cfg.MaxCycles + 1
 			}
 			if next-1 > cycle {
+				ffSkipped += int64(next - 1 - cycle)
 				cycle = next - 1
 			}
 			continue
@@ -558,5 +572,10 @@ func simulateSharded(ctx context.Context, s *simState) (Result, error) {
 	}
 
 	s.mergeStrips(strips...)
+	if cfg.Obs.Enabled() {
+		cfg.Obs.Counter("noc.fastforward", obs.KV{K: "skipped_cycles", V: float64(ffSkipped)})
+		emitShardCounters(cfg.Obs, strips...)
+		cfg.Obs.Progress("noc.sim", s.res.Delivered+s.res.Dropped, s.res.Injected)
+	}
 	return s.finish(), nil
 }

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CLI bundles the observability flags shared by every command in this
+// repository: Chrome trace export, a live progress renderer, and CPU/heap
+// profiling. Register the flags, then call Start once they are parsed:
+//
+//	var cli obs.CLI
+//	cli.Register(flag.CommandLine)
+//	flag.Parse()
+//	o, stop, err := cli.Start(os.Stderr)
+//	...
+//	defer stop()
+type CLI struct {
+	// TraceOut is the Chrome trace-event JSON output path ("" = no trace).
+	TraceOut string
+	// Progress enables the live stderr progress renderer.
+	Progress bool
+	// CPUProfile is the pprof CPU profile output path ("" = off).
+	CPUProfile string
+	// MemProfile is the pprof heap profile output path, written by stop
+	// ("" = off).
+	MemProfile string
+}
+
+// Register installs the observability flags on fs.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write phase spans and counters as Chrome trace-event JSON to this file (open in Perfetto or chrome://tracing)")
+	fs.BoolVar(&c.Progress, "progress", false, "render live phase progress (fraction, elapsed, ETA) on stderr")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+}
+
+// Start opens the configured outputs and returns the pipeline observer —
+// nil when no telemetry flag is set, which callers thread through
+// unchanged — plus a stop function that flushes the trace, stops the CPU
+// profile and writes the heap profile. stop must run before process exit
+// (it is safe to call exactly once; a nil error means all outputs landed).
+func (c CLI) Start(progressTo io.Writer) (*Observer, func() error, error) {
+	var cfg Config
+	var stops []func() error
+	fail := func(err error) (*Observer, func() error, error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		return nil, nil, err
+	}
+	if c.TraceOut != "" {
+		f, err := os.Create(c.TraceOut)
+		if err != nil {
+			return fail(fmt.Errorf("obs: -trace-out: %w", err))
+		}
+		sink := NewTraceSink(f)
+		cfg.Sink = sink
+		stops = append(stops, f.Close, sink.Close)
+	}
+	if c.Progress {
+		cfg.OnProgress = Renderer(progressTo)
+	}
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return fail(fmt.Errorf("obs: -cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("obs: -cpuprofile: %w", err))
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if c.MemProfile != "" {
+		path := c.MemProfile
+		stops = append(stops, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("obs: -memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is current
+			return pprof.WriteHeapProfile(f)
+		})
+	}
+	stop := func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return New(cfg), stop, nil
+}

@@ -1,0 +1,206 @@
+// Package obs is the pipeline's observability layer: hierarchical phase
+// spans, typed counters, and throttled progress callbacks, exported as
+// Chrome trace-event JSON (viewable in Perfetto) through the Sink
+// interface.
+//
+// The package is built around a single invariant: telemetry is
+// observe-only. A nil *Observer is the disabled state and every method on
+// it is a nil-check no-op, so instrumented code paths pay one predicted
+// branch when telemetry is off. Hot loops (per-swap FD bookkeeping,
+// per-cycle NoC simulation) never call into obs directly — they keep
+// plain local counters and publish aggregates at sweep/run boundaries,
+// guarded by Enabled(), so enabling telemetry can never perturb
+// bit-identical parallel results. Counter aggregation order is fixed
+// (chunk order, strip order, level order) — never wall-clock arrival
+// order.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates Event payloads.
+type Kind uint8
+
+const (
+	// KindBegin opens a duration span (Chrome trace "B").
+	KindBegin Kind = iota
+	// KindEnd closes the innermost open span with the same name ("E").
+	KindEnd
+	// KindCounter carries one sample of one or more named series ("C").
+	KindCounter
+	// KindInstant marks a point event, e.g. a progress report ("i").
+	KindInstant
+)
+
+// KV is one named numeric argument attached to an event.
+type KV struct {
+	K string
+	V float64
+}
+
+// Event is the unit every Sink receives. TS is the time since the
+// Observer's epoch (monotonic; converted to microseconds for Chrome
+// traces). All pipeline spans are emitted from the phase's own goroutine
+// in program order, so a trace forms one properly nested stack.
+type Event struct {
+	Kind Kind
+	Name string
+	TS   time.Duration
+	Args []KV
+}
+
+// Sink consumes telemetry events. Implementations must be safe for
+// concurrent use; the built-in TraceSink serializes internally. Close
+// flushes buffered output (the TraceSink writes the closing bracket) but
+// does not close any underlying file — the caller owns that.
+type Sink interface {
+	Event(Event)
+	Close() error
+}
+
+// Progress is one throttled progress report. Fraction is Done/Total, or
+// -1 when Total is unknown; ETA is the extrapolated time remaining in the
+// current phase, or -1 when it cannot be estimated yet.
+type Progress struct {
+	Phase    string
+	Done     int64
+	Total    int64
+	Fraction float64
+	Elapsed  time.Duration
+	ETA      time.Duration
+}
+
+// Config configures New.
+type Config struct {
+	// Sink receives every span/counter/instant event; nil drops them.
+	Sink Sink
+	// OnProgress receives throttled Progress reports; nil drops them.
+	OnProgress func(Progress)
+	// ProgressEvery is the minimum interval between Progress emissions per
+	// observer (final reports always pass). Zero means 100ms.
+	ProgressEvery time.Duration
+}
+
+// Observer is the handle instrumented code holds. The zero value is not
+// used; disabled telemetry is represented by a nil *Observer, on which
+// every method (including Span/End/Counter/Progress) is a safe no-op.
+type Observer struct {
+	sink  Sink
+	prog  func(Progress)
+	every time.Duration
+	epoch time.Time
+
+	// nextProg is the earliest TS (ns since epoch) at which the next
+	// throttled Progress may emit; CAS-claimed so concurrent reporters
+	// cannot double-emit inside one window.
+	nextProg atomic.Int64
+
+	mu         sync.Mutex
+	phase      string
+	phaseStart time.Duration
+}
+
+// New returns an Observer, or nil (the disabled observer) when the config
+// carries neither a sink nor a progress callback.
+func New(cfg Config) *Observer {
+	if cfg.Sink == nil && cfg.OnProgress == nil {
+		return nil
+	}
+	every := cfg.ProgressEvery
+	if every <= 0 {
+		every = 100 * time.Millisecond
+	}
+	return &Observer{sink: cfg.Sink, prog: cfg.OnProgress, every: every, epoch: time.Now()}
+}
+
+// Enabled reports whether telemetry is on. Hot paths use it to skip
+// argument construction entirely.
+func (o *Observer) Enabled() bool { return o != nil }
+
+func (o *Observer) now() time.Duration { return time.Since(o.epoch) }
+
+func (o *Observer) emit(e Event) {
+	if o.sink != nil {
+		o.sink.Event(e)
+	}
+}
+
+// Span opens a named duration span and returns its handle; the zero Span
+// returned from a nil observer no-ops on End.
+func (o *Observer) Span(name string, args ...KV) Span {
+	if o == nil {
+		return Span{}
+	}
+	o.emit(Event{Kind: KindBegin, Name: name, TS: o.now(), Args: args})
+	return Span{o: o, name: name}
+}
+
+// Span is an open duration span. Spans close in LIFO order on the
+// goroutine that opened them, matching Chrome trace B/E semantics.
+type Span struct {
+	o    *Observer
+	name string
+}
+
+// End closes the span, attaching args to the end event.
+func (s Span) End(args ...KV) {
+	if s.o == nil {
+		return
+	}
+	s.o.emit(Event{Kind: KindEnd, Name: s.name, TS: s.o.now(), Args: args})
+}
+
+// Counter emits one sample of the named counter series.
+func (o *Observer) Counter(name string, args ...KV) {
+	if o == nil {
+		return
+	}
+	o.emit(Event{Kind: KindCounter, Name: name, TS: o.now(), Args: args})
+}
+
+// Progress reports phase progress, throttled to at most one emission per
+// ProgressEvery window; the final report of a phase (done >= total > 0)
+// always passes. A phase change resets the elapsed/ETA baseline.
+func (o *Observer) Progress(phase string, done, total int64) {
+	if o == nil {
+		return
+	}
+	now := o.now()
+	final := total > 0 && done >= total
+	if !final {
+		next := o.nextProg.Load()
+		if int64(now) < next || !o.nextProg.CompareAndSwap(next, int64(now+o.every)) {
+			return
+		}
+	} else {
+		o.nextProg.Store(int64(now + o.every))
+	}
+
+	o.mu.Lock()
+	if phase != o.phase {
+		o.phase = phase
+		o.phaseStart = now
+	}
+	elapsed := now - o.phaseStart
+	o.mu.Unlock()
+
+	frac := -1.0
+	eta := time.Duration(-1)
+	if total > 0 {
+		frac = float64(done) / float64(total)
+		if frac > 1 {
+			frac = 1
+		}
+		if frac > 0 {
+			eta = time.Duration(float64(elapsed) * (1 - frac) / frac)
+		}
+	}
+	p := Progress{Phase: phase, Done: done, Total: total, Fraction: frac, Elapsed: elapsed, ETA: eta}
+	if o.prog != nil {
+		o.prog(p)
+	}
+	o.emit(Event{Kind: KindInstant, Name: "progress:" + phase, TS: now, Args: []KV{{K: "done", V: float64(done)}, {K: "total", V: float64(total)}}})
+}

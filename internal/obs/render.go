@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Renderer returns a Progress callback that maintains a single live
+// status line on w (normally a terminal's stderr), rewriting it in place
+// with carriage returns. A phase change or a completed phase commits the
+// current line with a newline so finished phases stay visible.
+func Renderer(w io.Writer) func(Progress) {
+	var mu sync.Mutex
+	phase := ""
+	width := 0
+	return func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		if phase != "" && p.Phase != phase {
+			fmt.Fprintln(w)
+			width = 0
+		}
+		phase = p.Phase
+		line := formatProgress(p)
+		if pad := width - len(line); pad > 0 {
+			line += strings.Repeat(" ", pad)
+		}
+		width = len(line)
+		fmt.Fprintf(w, "\r%s", line)
+		if p.Total > 0 && p.Done >= p.Total {
+			fmt.Fprintln(w)
+			phase, width = "", 0
+		}
+	}
+}
+
+func formatProgress(p Progress) string {
+	if p.Total <= 0 {
+		return fmt.Sprintf("%-18s %d  %s", p.Phase, p.Done, fmtDur(p.Elapsed))
+	}
+	line := fmt.Sprintf("%-18s %5.1f%%  (%d/%d)  %s", p.Phase, p.Fraction*100, p.Done, p.Total, fmtDur(p.Elapsed))
+	if p.ETA >= 0 && p.Done < p.Total {
+		line += fmt.Sprintf("  eta %s", fmtDur(p.ETA))
+	}
+	return line
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < 0:
+		return "?"
+	case d < time.Second:
+		return d.Truncate(time.Millisecond).String()
+	case d < time.Minute:
+		return d.Truncate(100 * time.Millisecond).String()
+	default:
+		return d.Truncate(time.Second).String()
+	}
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// traceEvent is one Chrome trace-event object. The format is the
+// "JSON Array Format" of the Trace Event specification; Perfetto and
+// chrome://tracing both load it directly. Timestamps are microseconds.
+type traceEvent struct {
+	Name string             `json:"name"`
+	Cat  string             `json:"cat,omitempty"`
+	Ph   string             `json:"ph"`
+	Pid  int                `json:"pid"`
+	Tid  int                `json:"tid"`
+	Ts   float64            `json:"ts"`
+	S    string             `json:"s,omitempty"`
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+var phOf = map[Kind]string{
+	KindBegin:   "B",
+	KindEnd:     "E",
+	KindCounter: "C",
+	KindInstant: "i",
+}
+
+// TraceSink streams events as Chrome trace-event JSON to a writer. It is
+// safe for concurrent use. Close writes the closing bracket and flushes;
+// the caller closes the underlying file.
+type TraceSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewTraceSink wraps w in a buffered Chrome trace writer.
+func NewTraceSink(w io.Writer) *TraceSink {
+	return &TraceSink{w: bufio.NewWriter(w)}
+}
+
+// Event appends one trace event to the JSON array. Encoding errors are
+// sticky and reported by Close.
+func (t *TraceSink) Event(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	sep := ",\n"
+	if t.n == 0 {
+		sep = "[\n"
+	}
+	te := traceEvent{Name: e.Name, Cat: "snnmap", Ph: phOf[e.Kind], Pid: 1, Tid: 0, Ts: float64(e.TS.Nanoseconds()) / 1e3}
+	if e.Kind == KindInstant {
+		te.S = "t" // thread-scoped instant
+	}
+	if len(e.Args) > 0 {
+		te.Args = make(map[string]float64, len(e.Args))
+		for _, kv := range e.Args {
+			te.Args[kv.K] = kv.V
+		}
+	}
+	enc, err := json.Marshal(te)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.WriteString(sep); err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(enc); err != nil {
+		t.err = err
+		return
+	}
+	t.n++
+}
+
+// Close terminates the JSON array and flushes buffered output.
+func (t *TraceSink) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	if t.n == 0 {
+		if _, err := t.w.WriteString("["); err != nil {
+			return err
+		}
+	}
+	if _, err := t.w.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}
+
+// TraceStats summarizes a validated trace.
+type TraceStats struct {
+	// Events is the total event count.
+	Events int
+	// Spans is the number of completed B/E pairs.
+	Spans int
+	// Counters and Instants count "C" and "i" events.
+	Counters int
+	Instants int
+	// MaxDepth is the deepest B/E nesting observed on any thread track.
+	MaxDepth int
+}
+
+// ValidateTrace parses a Chrome trace-event JSON array and checks it
+// against the trace-event schema subset this package emits: well-formed
+// JSON, known phase letters, per-track monotonic (non-decreasing)
+// timestamps, and balanced name-matched B/E pairs. It returns summary
+// stats on success.
+func ValidateTrace(r io.Reader) (TraceStats, error) {
+	var events []traceEvent
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&events); err != nil {
+		return TraceStats{}, fmt.Errorf("obs: trace is not a JSON event array: %w", err)
+	}
+	var stats TraceStats
+	stats.Events = len(events)
+	type track struct {
+		lastTs float64
+		seen   bool
+		stack  []string
+	}
+	tracks := map[[2]int]*track{}
+	for i, e := range events {
+		switch e.Ph {
+		case "B", "E", "C", "i", "I", "M", "X":
+		default:
+			return stats, fmt.Errorf("obs: event %d (%q): unknown phase %q", i, e.Name, e.Ph)
+		}
+		key := [2]int{e.Pid, e.Tid}
+		tr := tracks[key]
+		if tr == nil {
+			tr = &track{}
+			tracks[key] = tr
+		}
+		if e.Ph != "M" { // metadata events carry no timestamp ordering
+			if tr.seen && e.Ts < tr.lastTs {
+				return stats, fmt.Errorf("obs: event %d (%q): timestamp %.3f before %.3f on pid %d tid %d", i, e.Name, e.Ts, tr.lastTs, e.Pid, e.Tid)
+			}
+			tr.lastTs, tr.seen = e.Ts, true
+		}
+		switch e.Ph {
+		case "B":
+			tr.stack = append(tr.stack, e.Name)
+			if len(tr.stack) > stats.MaxDepth {
+				stats.MaxDepth = len(tr.stack)
+			}
+		case "E":
+			if len(tr.stack) == 0 {
+				return stats, fmt.Errorf("obs: event %d: end %q with no open span on pid %d tid %d", i, e.Name, e.Pid, e.Tid)
+			}
+			top := tr.stack[len(tr.stack)-1]
+			if e.Name != "" && e.Name != top {
+				return stats, fmt.Errorf("obs: event %d: end %q does not match open span %q", i, e.Name, top)
+			}
+			tr.stack = tr.stack[:len(tr.stack)-1]
+			stats.Spans++
+		case "C":
+			stats.Counters++
+		case "i", "I":
+			stats.Instants++
+		}
+	}
+	for key, tr := range tracks {
+		if len(tr.stack) > 0 {
+			return stats, fmt.Errorf("obs: %d unclosed span(s) on pid %d tid %d, innermost %q", len(tr.stack), key[0], key[1], tr.stack[len(tr.stack)-1])
+		}
+	}
+	return stats, nil
+}

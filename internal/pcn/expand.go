@@ -3,6 +3,7 @@ package pcn
 import (
 	"fmt"
 
+	"snnmap/internal/obs"
 	"snnmap/internal/snn"
 )
 
@@ -19,7 +20,14 @@ func Expand(n *snn.Net, cfg PartitionConfig) (*PCN, error) {
 		p, _, err := ExpandMultilevel(n, cfg)
 		return p, err
 	}
-	return expandWithGrain(n, cfg, 1)
+	sp := cfg.Obs.Span("partition.expand")
+	p, err := expandWithGrain(n, cfg, 1)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	sp.End(obs.KV{K: "clusters", V: float64(p.NumClusters)}, obs.KV{K: "edges", V: float64(p.NumEdges())})
+	return p, nil
 }
 
 // layerPlan holds the per-layer cluster sizing of one expansion.

@@ -3,6 +3,7 @@ package pcn
 import (
 	"fmt"
 
+	"snnmap/internal/obs"
 	"snnmap/internal/snn"
 )
 
@@ -133,6 +134,8 @@ func PartitionMultilevel(g *snn.Graph, cfg PartitionConfig) (*Result, Multilevel
 	}
 	o := opts.withDefaults()
 	cfg.Multilevel = nil // internal calls run flat
+	sp := cfg.Obs.Span("partition.multilevel")
+	defer func() { sp.End() }()
 
 	flat, err := Partition(g, cfg)
 	if err != nil {
@@ -178,9 +181,32 @@ func PartitionMultilevel(g *snn.Graph, cfg PartitionConfig) (*Result, Multilevel
 	stats.CutMultilevel = ml.PCN.TotalWeight()
 	if preferFlat(stats, ml.PCN, flat.PCN) {
 		stats.UsedFlat = true
+	}
+	emitMultilevelStats(cfg.Obs, stats)
+	if stats.UsedFlat {
 		return flat, stats, nil
 	}
 	return ml, stats, nil
+}
+
+// emitMultilevelStats publishes the run-summary counters of one multilevel
+// partitioning. Values come from MultilevelStats, which is computed the same
+// way whether or not telemetry is attached.
+func emitMultilevelStats(o *obs.Observer, s MultilevelStats) {
+	if !o.Enabled() {
+		return
+	}
+	used := 0.0
+	if s.UsedFlat {
+		used = 1
+	}
+	o.Counter("multilevel.cut",
+		obs.KV{K: "flat", V: s.CutFlat},
+		obs.KV{K: "multilevel", V: s.CutMultilevel},
+		obs.KV{K: "used_flat", V: used},
+		obs.KV{K: "levels", V: float64(s.Levels)},
+		obs.KV{K: "coarsest_vertices", V: float64(s.CoarsestVertices)},
+		obs.KV{K: "moves", V: float64(s.Moves)})
 }
 
 // undirectedFromAssignment builds the symmetrized cluster graph of a neuron
@@ -284,6 +310,8 @@ func ExpandMultilevel(n *snn.Net, cfg PartitionConfig) (*PCN, MultilevelStats, e
 	}
 	o := opts.withDefaults()
 	cfg.Multilevel = nil
+	sp := cfg.Obs.Span("partition.multilevel")
+	defer func() { sp.End() }()
 
 	flat, err := Expand(n, cfg)
 	if err != nil {
@@ -332,6 +360,9 @@ func ExpandMultilevel(n *snn.Net, cfg PartitionConfig) (*PCN, MultilevelStats, e
 	stats.CutMultilevel = ml.TotalWeight()
 	if preferFlat(stats, ml, flat) {
 		stats.UsedFlat = true
+	}
+	emitMultilevelStats(cfg.Obs, stats)
+	if stats.UsedFlat {
 		return flat, stats, nil
 	}
 	if err := ml.Validate(); err != nil {
@@ -401,6 +432,7 @@ func multilevelGroup(base *gLevel, total int64, cfg PartitionConfig, o Multileve
 		target = t
 	}
 
+	coarsenSp := cfg.Obs.Span("multilevel.coarsen")
 	levels := []*gLevel{base}
 	lv := base
 	for len(levels) <= o.MaxLevels && len(lv.neurons) > target {
@@ -418,12 +450,22 @@ func multilevelGroup(base *gLevel, total int64, cfg PartitionConfig, o Multileve
 		}
 		coarse, _ := contract(lv, match, o.Workers)
 		levels = append(levels, coarse)
+		if cfg.Obs.Enabled() {
+			cfg.Obs.Counter("multilevel.level",
+				obs.KV{K: "level", V: float64(len(levels) - 1)},
+				obs.KV{K: "vertices", V: float64(len(coarse.neurons))},
+				obs.KV{K: "edges", V: float64(len(coarse.u.To) / 2)},
+				obs.KV{K: "matched_pairs", V: float64(pairs)})
+		}
 		lv = coarse
 	}
+	coarsenSp.End(obs.KV{K: "levels", V: float64(len(levels))}, obs.KV{K: "coarsest_vertices", V: float64(len(lv.neurons))})
 
 	grp := grouping{levels: len(levels), coarsest: len(lv.neurons)}
 
+	initSp := cfg.Obs.Span("multilevel.initial")
 	partOf, parts := greedyPartition(lv, cfg, npc, synCap)
+	initSp.End(obs.KV{K: "parts", V: float64(parts)})
 	partN := make([]int32, parts)
 	partS := make([]int64, parts)
 	partLayer := make([]int32, parts)
@@ -445,7 +487,12 @@ func multilevelGroup(base *gLevel, total int64, cfg PartitionConfig, o Multileve
 		partVerts[p]++
 	}
 
-	grp.moves += refineLevel(lv, partOf, partN, partS, partLayer, partVerts, cfg, o, npc, synCap)
+	uncoarsenSp := cfg.Obs.Span("multilevel.uncoarsen")
+	moves := refineLevel(lv, partOf, partN, partS, partLayer, partVerts, cfg, o, npc, synCap)
+	grp.moves += moves
+	if cfg.Obs.Enabled() {
+		cfg.Obs.Counter("multilevel.refine", obs.KV{K: "level", V: float64(len(levels) - 1)}, obs.KV{K: "moves", V: float64(moves)})
+	}
 	for li := len(levels) - 2; li >= 0; li-- {
 		finer := levels[li]
 		fp := make([]int32, len(finer.neurons))
@@ -459,8 +506,13 @@ func multilevelGroup(base *gLevel, total int64, cfg PartitionConfig, o Multileve
 		for _, p := range partOf {
 			partVerts[p]++
 		}
-		grp.moves += refineLevel(finer, partOf, partN, partS, partLayer, partVerts, cfg, o, npc, synCap)
+		moves = refineLevel(finer, partOf, partN, partS, partLayer, partVerts, cfg, o, npc, synCap)
+		grp.moves += moves
+		if cfg.Obs.Enabled() {
+			cfg.Obs.Counter("multilevel.refine", obs.KV{K: "level", V: float64(li)}, obs.KV{K: "moves", V: float64(moves)})
+		}
 	}
+	uncoarsenSp.End(obs.KV{K: "moves", V: float64(grp.moves)})
 
 	// Compact part indices by first appearance (refinement may have emptied
 	// parts) and recompute occupancy on the fine graph.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"snnmap/internal/hw"
+	"snnmap/internal/obs"
 	"snnmap/internal/snn"
 )
 
@@ -23,6 +24,9 @@ type PartitionConfig struct {
 	// coarsen–partition–uncoarsen scheme (multilevel.go). Nil keeps the
 	// paper's flat Algorithm 1 pipeline.
 	Multilevel *MultilevelOptions
+	// Obs receives phase spans and per-level counters; nil disables
+	// telemetry. Observe-only: it never affects the partition produced.
+	Obs *obs.Observer
 }
 
 // DefaultPartition returns the configuration that reproduces the paper's
@@ -50,8 +54,10 @@ func Partition(g *snn.Graph, cfg PartitionConfig) (*Result, error) {
 		r, _, err := PartitionMultilevel(g, cfg)
 		return r, err
 	}
+	sp := cfg.Obs.Span("partition.flat")
 	clusterOf, neurons, synapses, layers, err := assignClusters(g, cfg)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	p := &PCN{NumClusters: len(neurons), Neurons: neurons, Synapses: synapses, Layer: layers}
@@ -61,6 +67,7 @@ func Partition(g *snn.Graph, cfg PartitionConfig) (*Result, error) {
 	// counting pass sizes the edge list exactly so it never reallocates.
 	from, to, w := crossEdges(g, clusterOf, &p.InternalTraffic)
 	buildCSR(p, from, to, w)
+	sp.End(obs.KV{K: "clusters", V: float64(p.NumClusters)}, obs.KV{K: "edges", V: float64(len(w))})
 	return &Result{PCN: p, ClusterOf: clusterOf}, nil
 }
 

@@ -34,6 +34,7 @@ import (
 	"snnmap/internal/mapping"
 	"snnmap/internal/metrics"
 	"snnmap/internal/noc"
+	"snnmap/internal/obs"
 	"snnmap/internal/pcn"
 	"snnmap/internal/place"
 	"snnmap/internal/snn"
@@ -292,6 +293,9 @@ type (
 	SimConfig = noc.Config
 	// SimResult summarizes a simulation run.
 	SimResult = noc.Result
+	// SimStats breaks down a simulation's drop and detour accounting
+	// (SimResult.Stats).
+	SimStats = noc.Stats
 	// SimRouting selects the simulator's routing algorithm.
 	SimRouting = noc.Routing
 )
@@ -537,3 +541,44 @@ type (
 // Reservoir builds a recurrent reservoir-computing workload whose layer
 // graph contains a cycle, exercising the cycle-tolerant topological sort.
 func Reservoir(name string, cfg ReservoirConfig) (*Net, error) { return snn.Reservoir(name, cfg) }
+
+// Observability. Every pipeline config (PartitionConfig, FDConfig, Config,
+// MetricOptions, SimConfig, and expt's RunOptions) carries an optional
+// *Observer that receives phase spans, hot-loop counters and throttled
+// progress reports. Telemetry is observe-only: results are bit-identical
+// with or without an observer, at any worker/shard count.
+type (
+	// Observer is the telemetry handle; nil disables telemetry and every
+	// method on a nil Observer is a safe no-op.
+	Observer = obs.Observer
+	// ObserverConfig configures NewObserver (sink + progress callback).
+	ObserverConfig = obs.Config
+	// ObsEvent is one telemetry event delivered to a sink.
+	ObsEvent = obs.Event
+	// ObsSink consumes telemetry events (the future daemon plugs in here).
+	ObsSink = obs.Sink
+	// ObsProgress is one throttled progress report.
+	ObsProgress = obs.Progress
+	// TraceSink writes events as Chrome trace-event JSON (Perfetto).
+	TraceSink = obs.TraceSink
+	// TraceStats summarizes a validated trace file.
+	TraceStats = obs.TraceStats
+)
+
+// NewObserver builds an observer from a sink and/or progress callback;
+// returns nil (telemetry disabled) when the config carries neither.
+func NewObserver(cfg ObserverConfig) *Observer { return obs.New(cfg) }
+
+// NewTraceSink returns a sink writing Chrome trace-event JSON to w; its
+// Close writes the closing bracket (the caller owns any underlying file).
+func NewTraceSink(w io.Writer) *TraceSink { return obs.NewTraceSink(w) }
+
+// ProgressRenderer returns a progress callback that renders a live
+// single-line progress display (phase, fraction, ETA) to w — pass it as
+// ObserverConfig.OnProgress with w = os.Stderr for CLI-style output.
+func ProgressRenderer(w io.Writer) func(ObsProgress) { return obs.Renderer(w) }
+
+// ValidateTrace checks a Chrome trace-event JSON stream written by
+// TraceSink: known phases, per-track monotonic timestamps, and a balanced
+// name-matched begin/end stack.
+func ValidateTrace(r io.Reader) (TraceStats, error) { return obs.ValidateTrace(r) }
