@@ -19,14 +19,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
+	"snnmap/internal/cache"
 	"snnmap/internal/codec"
 	"snnmap/internal/expt"
+	"snnmap/internal/fsx"
 	"snnmap/internal/hw"
 	"snnmap/internal/mapping"
 	"snnmap/internal/metrics"
@@ -60,6 +62,8 @@ func main() {
 		resume      = flag.String("resume", "", "resume fine-tuning from a snapshot file written by -checkpoint (bit-identical to the uninterrupted run, at any -workers count)")
 		spareRows   = flag.Int("spare-rows", 0, "reserve this many extra mesh rows as hot spares for wholesale row-shift repair (grows the mesh; placement and fine-tuning leave them empty)")
 		partitioner = flag.String("partitioner", "flat", "partitioning scheme: flat (Algorithm 1) or multilevel (coarsen-partition-uncoarsen; deterministic at any -workers count)")
+		cacheDir    = flag.String("cache-dir", "", "content-addressed artifact cache directory: warm-starts partitioning, placement, fine-tuning and metrics from prior runs with identical inputs (warm results are bit-identical to cold; fine-tuning is only cached with -budget 0)")
+		cacheRemap  = flag.Bool("cache-remap", false, "with -cache-dir and -faults: repair a cached pristine-mesh result with incremental remapping instead of replaying a cold run (fast, but not bit-identical to a cold defective run)")
 	)
 	var cli obs.CLI
 	cli.Register(flag.CommandLine)
@@ -70,6 +74,13 @@ func main() {
 		fatal(err)
 	}
 	obsStop = stopObs
+
+	var artifacts *cache.Cache
+	if *cacheDir != "" {
+		if artifacts, err = cache.New(cache.Config{Dir: *cacheDir, RemapDelta: *cacheRemap}); err != nil {
+			fatal(err)
+		}
+	}
 
 	var mlOpts *pcn.MultilevelOptions
 	switch *partitioner {
@@ -99,7 +110,7 @@ func main() {
 		cfg := pcn.DefaultPartition()
 		cfg.Multilevel = mlOpts
 		cfg.Obs = o
-		if p, err = pcn.Expand(net, cfg); err != nil {
+		if p, err = expandNet(artifacts, net, cfg); err != nil {
 			fatal(err)
 		}
 		mesh = expt.MeshFor(p.NumClusters)
@@ -114,7 +125,7 @@ func main() {
 		cfg := pcn.DefaultPartition()
 		cfg.Multilevel = mlOpts
 		cfg.Obs = o
-		if p, err = pcn.Expand(net, cfg); err != nil {
+		if p, err = expandNet(artifacts, net, cfg); err != nil {
 			fatal(err)
 		}
 		mesh = expt.MeshFor(p.NumClusters)
@@ -160,6 +171,11 @@ func main() {
 	}
 	opts := expt.RunOptions{Seed: *seed, Budget: *budget, Defects: defects, Constraints: cons,
 		Workers: *workers, SimShards: *simShards, Checkpoint: ckptCfg, Obs: o}
+	if artifacts != nil {
+		// Only assign on the concrete path: a typed-nil interface would read
+		// as a configured cache downstream.
+		opts.Cache = artifacts
+	}
 	var pl *place.Placement
 	if *resume != "" {
 		if pl, p, mesh, err = resumeRun(*resume, p, defects, cons, ckptCfg, *budget, *workers, o); err != nil {
@@ -197,7 +213,13 @@ func main() {
 	}
 
 	cost := hw.DefaultCostModel()
-	sum := metrics.Evaluate(p, pl, cost, metrics.Options{Workers: *workers, Obs: o})
+	mopts := metrics.Options{Workers: *workers, Obs: o}
+	var sum metrics.Summary
+	if artifacts != nil {
+		sum, _ = artifacts.Evaluate(p, pl, cost, mopts)
+	} else {
+		sum = metrics.Evaluate(p, pl, cost, mopts)
+	}
 	fmt.Printf("metrics: %s\n", sum)
 	if defects != nil {
 		if err := pl.ValidateDefects(defects); err != nil {
@@ -246,6 +268,13 @@ func main() {
 				fatal(err)
 			}
 		}
+	}
+
+	if artifacts != nil {
+		s := artifacts.Stats()
+		fmt.Printf("cache: hits/misses partition %d/%d initial %d/%d result %d/%d metrics %d/%d; remaps %d, corrupt %d\n",
+			s.PartitionHits, s.PartitionMisses, s.InitialHits, s.InitialMisses,
+			s.ResultHits, s.ResultMisses, s.MetricsHits, s.MetricsMisses, s.Remaps, s.Corrupt)
 	}
 
 	writeFile(*savePCN, func(f *os.File) error { return codec.WritePCN(f, p) })
@@ -353,28 +382,20 @@ func resumeRun(path string, p *pcn.PCN, defects *hw.DefectMap, cons hw.Constrain
 	return pl, p, mesh, nil
 }
 
-// writeSnapshotAtomic persists a snapshot with crash-safe replace semantics:
-// write to a temp file in the same directory, fsync, then rename over the
-// target — a crash mid-write never corrupts the previous snapshot.
+// expandNet partitions a layer-spec net, through the artifact cache when one
+// is configured.
+func expandNet(artifacts *cache.Cache, net *snn.Net, cfg pcn.PartitionConfig) (*pcn.PCN, error) {
+	if artifacts != nil {
+		p, _, err := artifacts.Expand(net, cfg)
+		return p, err
+	}
+	return pcn.Expand(net, cfg)
+}
+
+// writeSnapshotAtomic persists a snapshot with crash-safe replace semantics
+// (temp file + fsync + rename; see internal/fsx).
 func writeSnapshotAtomic(path string, s *mapping.Snapshot) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := codec.WriteSnapshot(tmp, s); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return fsx.WriteAtomic(path, func(w io.Writer) error { return codec.WriteSnapshot(w, s) })
 }
 
 func fileExists(path string) bool {

@@ -1,0 +1,106 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+
+	"snnmap/internal/fsx"
+)
+
+// Entry framing (little-endian):
+//
+//	[8]  magic "SNNCAC01"
+//	[32] stage key echo (detects entries filed under the wrong name)
+//	[8]  payload length
+//	[n]  payload
+//	[32] SHA-256 over everything above
+//
+// The digest trails the payload so writes can stream through a tee
+// instead of buffering twice. Reads verify every field; any mismatch,
+// truncation or I/O error degrades to a miss — the store never returns
+// an error for a bad entry, it just pretends the entry is absent.
+var entryMagic = [8]byte{'S', 'N', 'N', 'C', 'A', 'C', '0', '1'}
+
+// maxEntryPayload caps how much a reader will allocate for one entry
+// (a corrupted length field must not OOM the process). 1 GiB covers any
+// realistic PCN + placement artifact.
+const maxEntryPayload = 1 << 30
+
+var errCorrupt = errors.New("cache: corrupt entry")
+
+// store is the filesystem layer: one file per (stage, key), sharded by
+// the first key byte so directories stay small.
+type store struct {
+	dir string
+}
+
+func (s *store) path(stage string, k Key) string {
+	hexKey := hex.EncodeToString(k[:])
+	return filepath.Join(s.dir, stage, hexKey[:2], hexKey)
+}
+
+// put atomically writes one entry; payload streams the body. Errors are
+// returned for observability (counted by the Cache) but callers treat a
+// failed put as a no-op: the next lookup simply misses.
+func (s *store) put(stage string, k Key, payload func(io.Writer) error) error {
+	return fsx.WriteAtomic(s.path(stage, k), func(w io.Writer) error {
+		digest := sha256.New()
+		tee := io.MultiWriter(w, digest)
+		if _, err := tee.Write(entryMagic[:]); err != nil {
+			return err
+		}
+		if _, err := tee.Write(k[:]); err != nil {
+			return err
+		}
+		var body bytes.Buffer
+		if err := payload(&body); err != nil {
+			return err
+		}
+		var lenBuf [8]byte
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(body.Len()))
+		if _, err := tee.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := tee.Write(body.Bytes()); err != nil {
+			return err
+		}
+		_, err := w.Write(digest.Sum(nil))
+		return err
+	})
+}
+
+// get returns the verified payload of one entry, or (nil, errCorrupt /
+// fs error) when the entry is absent, truncated, bit-flipped, misfiled,
+// or oversized. Callers translate any error into a miss.
+func (s *store) get(stage string, k Key) ([]byte, error) {
+	raw, err := os.ReadFile(s.path(stage, k))
+	if err != nil {
+		return nil, err
+	}
+	const headerLen = 8 + 32 + 8
+	if len(raw) < headerLen+sha256.Size {
+		return nil, errCorrupt
+	}
+	if !bytes.Equal(raw[:8], entryMagic[:]) {
+		return nil, errCorrupt
+	}
+	if !bytes.Equal(raw[8:40], k[:]) {
+		return nil, errCorrupt
+	}
+	n := binary.LittleEndian.Uint64(raw[40:48])
+	if n > maxEntryPayload || int(n) != len(raw)-headerLen-sha256.Size {
+		return nil, errCorrupt
+	}
+	body := raw[headerLen : headerLen+int(n)]
+	sum := sha256.Sum256(raw[:headerLen+int(n)])
+	if !bytes.Equal(sum[:], raw[headerLen+int(n):]) {
+		return nil, errCorrupt
+	}
+	return body, nil
+}

@@ -1,0 +1,139 @@
+package cache
+
+import (
+	"encoding/binary"
+	"io"
+	"os"
+	"testing"
+)
+
+// TestCorruptionTable: every way an on-disk entry can rot — truncation
+// at each structural boundary, bit flips in every region, a wrong magic,
+// a lying length field, a misfiled key — must degrade to a miss (and
+// count as corrupt), never an error or a bogus payload.
+func TestCorruptionTable(t *testing.T) {
+	payload := []byte("the quick brown spike jumped over the lazy router")
+	var key Key
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+
+	writeEntry := func(t *testing.T) (*Cache, string) {
+		t.Helper()
+		c := newTestCache(t, Config{})
+		if err := c.st.put("test", key, func(w io.Writer) error {
+			_, err := w.Write(payload)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return c, c.st.path("test", key)
+	}
+
+	// Sanity: the pristine entry reads back.
+	c, _ := writeEntry(t)
+	if body, err := c.st.get("test", key); err != nil || string(body) != string(payload) {
+		t.Fatalf("pristine entry: body=%q err=%v", body, err)
+	}
+
+	entryLen := 8 + 32 + 8 + len(payload) + 32
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"empty file", func(t *testing.T, path string) { truncate(t, path, 0) }},
+		{"truncated magic", func(t *testing.T, path string) { truncate(t, path, 5) }},
+		{"truncated key echo", func(t *testing.T, path string) { truncate(t, path, 20) }},
+		{"truncated length", func(t *testing.T, path string) { truncate(t, path, 44) }},
+		{"truncated payload", func(t *testing.T, path string) { truncate(t, path, 48+10) }},
+		{"truncated digest", func(t *testing.T, path string) { truncate(t, path, entryLen-1) }},
+		{"bit flip in magic", func(t *testing.T, path string) { flipBit(t, path, 3) }},
+		{"bit flip in key echo", func(t *testing.T, path string) { flipBit(t, path, 8+16) }},
+		{"bit flip in length", func(t *testing.T, path string) { flipBit(t, path, 40) }},
+		{"bit flip in payload", func(t *testing.T, path string) { flipBit(t, path, 48+4) }},
+		{"bit flip in digest", func(t *testing.T, path string) { flipBit(t, path, entryLen-4) }},
+		{"oversized length field", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			binary.LittleEndian.PutUint64(raw[40:48], maxEntryPayload+1)
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"trailing garbage", func(t *testing.T, path string) {
+			f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write([]byte("junk"))
+			f.Close()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, path := writeEntry(t)
+			tc.corrupt(t, path)
+			if body, ok := c.load("test", key); ok {
+				t.Fatalf("corrupt entry read back as a hit (%d bytes)", len(body))
+			}
+			if s := c.Stats(); s.Corrupt != 1 {
+				t.Fatalf("corrupt counter = %d, want 1", s.Corrupt)
+			}
+		})
+	}
+
+	// A structurally valid entry filed under the wrong key must also miss:
+	// the key echo defends against manual renames.
+	c2, path := writeEntry(t)
+	var otherKey Key
+	otherKey[0] = 0xFF
+	otherPath := c2.st.path("test", otherKey)
+	if err := os.MkdirAll(dirOf(otherPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(path, otherPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.load("test", otherKey); ok {
+		t.Fatal("misfiled entry read back as a hit")
+	}
+
+	// Absent entries are plain misses, not corruption.
+	c3 := newTestCache(t, Config{})
+	if _, ok := c3.load("test", key); ok {
+		t.Fatal("absent entry hit")
+	}
+	if s := c3.Stats(); s.Corrupt != 0 {
+		t.Fatalf("absent entry counted as corrupt: %+v", s)
+	}
+}
+
+func truncate(t *testing.T, path string, n int) {
+	t.Helper()
+	if err := os.Truncate(path, int64(n)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flipBit(t *testing.T, path string, off int) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[off] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

@@ -53,6 +53,11 @@ type RunOptions struct {
 	// evaluation, sweep progress). Nil disables telemetry. Observe-only:
 	// results are bit-identical with or without an observer.
 	Obs *obs.Observer
+	// Cache warm-starts curve-addressable method runs from previously
+	// stored artifacts (mapping.Config.Cache). Randomized initial
+	// placements are not content-addressable and ignore it, and budgeted
+	// runs bypass it; results are bit-identical with or without a cache.
+	Cache mapping.ResultCache
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -76,45 +81,67 @@ type Method struct {
 	Run func(p *pcn.PCN, mesh hw.Mesh, opts RunOptions) (*place.Placement, MethodStats, error)
 }
 
+// curveMethod routes through mapping.MapContext (FD disabled) so the
+// cache, phase spans and defect handling live in one place.
 func curveMethod(name string, c curve.Curve) Method {
 	return Method{Name: name, Run: func(p *pcn.PCN, mesh hw.Mesh, opts RunOptions) (*place.Placement, MethodStats, error) {
-		start := time.Now()
-		sp := opts.Obs.Span("placement", obs.KV{K: "clusters", V: float64(p.NumClusters)})
-		pl, err := mapping.InitialPlacementDefects(p, mesh, c, opts.Defects, opts.Constraints)
-		sp.End()
-		return pl, MethodStats{Elapsed: time.Since(start)}, err
+		res, err := mapping.Map(p, mesh, mapping.Config{
+			Curve:       c,
+			Defects:     opts.Defects,
+			Constraints: opts.Constraints,
+			Obs:         opts.Obs,
+			Cache:       opts.Cache,
+		})
+		if err != nil {
+			return nil, MethodStats{}, err
+		}
+		return res.Placement, MethodStats{Elapsed: res.Elapsed}, nil
 	}}
 }
 
 func fdMethod(name string, c curve.Curve, pot func(hw.CostModel) mapping.Potential) Method {
 	return Method{Name: name, Run: func(p *pcn.PCN, mesh hw.Mesh, opts RunOptions) (*place.Placement, MethodStats, error) {
 		opts = opts.withDefaults()
-		start := time.Now()
-		var pl *place.Placement
-		var err error
-		sp := opts.Obs.Span("placement", obs.KV{K: "clusters", V: float64(p.NumClusters)})
+		fd := &mapping.FDConfig{
+			Potential:  pot(opts.Cost),
+			Budget:     opts.Budget,
+			Workers:    opts.Workers,
+			Checkpoint: opts.Checkpoint,
+		}
 		if c != nil {
-			pl, err = mapping.InitialPlacementDefects(p, mesh, c, opts.Defects, opts.Constraints)
-		} else if opts.Defects.NumDead() > 0 {
+			// Curve-based pipeline: route through MapContext so a cache can
+			// serve the initial placement or the whole run.
+			res, err := mapping.Map(p, mesh, mapping.Config{
+				Curve:       c,
+				FD:          fd,
+				Defects:     opts.Defects,
+				Constraints: opts.Constraints,
+				Obs:         opts.Obs,
+				Cache:       opts.Cache,
+			})
+			if err != nil {
+				return nil, MethodStats{}, err
+			}
+			return res.Placement, MethodStats{Elapsed: res.Elapsed, EarlyStopped: !res.FD.Converged}, nil
+		}
+		// Randomized initial placement: not content-addressable, so the
+		// cache never applies here.
+		start := time.Now()
+		sp := opts.Obs.Span("placement", obs.KV{K: "clusters", V: float64(p.NumClusters)})
+		if opts.Defects.NumDead() > 0 {
 			sp.End()
 			return nil, MethodStats{}, fmt.Errorf("expt: method %s: random initial placement does not support defect maps", name)
-		} else {
-			pl, _, err = baseline.Random(p, mesh, baseline.Options{Seed: opts.Seed})
 		}
+		pl, _, err := baseline.Random(p, mesh, baseline.Options{Seed: opts.Seed})
 		sp.End()
 		if err != nil {
 			return nil, MethodStats{}, err
 		}
+		fd.Defects = opts.Defects
+		fd.Constraints = opts.Constraints
+		fd.Obs = opts.Obs
 		ftSp := opts.Obs.Span("finetune")
-		stats, err := mapping.Finetune(p, pl, mapping.FDConfig{
-			Potential:   pot(opts.Cost),
-			Budget:      opts.Budget,
-			Defects:     opts.Defects,
-			Constraints: opts.Constraints,
-			Workers:     opts.Workers,
-			Checkpoint:  opts.Checkpoint,
-			Obs:         opts.Obs,
-		})
+		stats, err := mapping.Finetune(p, pl, *fd)
 		if err != nil {
 			ftSp.End()
 			return nil, MethodStats{}, err

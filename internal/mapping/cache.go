@@ -1,0 +1,74 @@
+package mapping
+
+import (
+	"snnmap/internal/hw"
+	"snnmap/internal/pcn"
+	"snnmap/internal/place"
+)
+
+// ResultCache is the warm-start hook MapContext consults before running
+// the expensive pipeline stages. internal/cache provides the on-disk
+// content-addressed implementation; the interface lives here (at the
+// bottom of the dependency between the two packages) so mapping never
+// imports the store.
+//
+// Implementations must be loss-free: a LoadResult hit must reproduce the
+// exact bytes a cold MapContext run with the same inputs would produce
+// (placement and FD statistics bit-identical; only Result.Elapsed, the
+// caller's wall clock, differs). Any internal failure — missing entry,
+// I/O error, corruption — must surface as a miss, never an error.
+type ResultCache interface {
+	// LoadResult returns the finished pipeline output for these exact
+	// inputs, if cached. Remapped reports a defect-delta hit (see
+	// CachedResult); callers needing strict warm-equals-cold must treat
+	// Remapped results accordingly.
+	LoadResult(p *pcn.PCN, mesh hw.Mesh, cfg *Config) (CachedResult, bool)
+	// StoreResult records a successful cold run's output.
+	StoreResult(p *pcn.PCN, mesh hw.Mesh, cfg *Config, res *Result)
+	// LoadInitial returns the curve-walk initial placement for these
+	// inputs, if cached, letting MapContext skip straight to FD.
+	LoadInitial(p *pcn.PCN, mesh hw.Mesh, cfg *Config) (*place.Placement, bool)
+	// StoreInitial records a freshly computed initial placement.
+	StoreInitial(p *pcn.PCN, mesh hw.Mesh, cfg *Config, pl *place.Placement)
+}
+
+// CachedResult is a ResultCache.LoadResult hit.
+type CachedResult struct {
+	Placement *place.Placement
+	// FD and Polish are the stored statistics of the cold run that
+	// produced the placement (their Elapsed fields report the cold run's
+	// wall clock, preserved verbatim).
+	FD, Polish FDStats
+	// Remapped reports that the hit was synthesized from a cached
+	// pristine-mesh result by routing the requested defect map through
+	// Remap rather than replaying a cold run — an opt-in incremental path
+	// for in-field failures. Remapped results are never re-stored.
+	Remapped bool
+	// RemapStats describes the incremental repair when Remapped.
+	RemapStats RemapStats
+}
+
+// cacheable reports whether the pipeline output for this config is a
+// deterministic function of (PCN, mesh, config): wall-clock budgets make
+// the iteration count timing-dependent, so budgeted runs bypass the
+// cache entirely (no lookup, no store).
+func (c *Config) cacheable() bool {
+	if c.Cache == nil {
+		return false
+	}
+	if c.FD != nil && c.FD.Budget > 0 {
+		return false
+	}
+	if c.Polish != nil && c.Polish.Budget > 0 {
+		return false
+	}
+	return true
+}
+
+// Resolved returns the config with documentation defaults filled in
+// (Potential nil→L2Sq, Lambda 0→0.3), exactly as Finetune resolves them.
+// Cache implementations hash the resolved form so a zero field and its
+// explicit default produce the same key.
+func (c FDConfig) Resolved() FDConfig {
+	return c.withDefaults()
+}

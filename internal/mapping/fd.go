@@ -352,6 +352,18 @@ type fdEngine struct {
 	// (0 for empty cells and off-mesh directions).
 	force []float64
 
+	// mutw[id] caches the mutual undirected weight between the occupants of
+	// pair id's two cells (0 when either is empty or they are unconnected),
+	// so tension() never binary-searches the adjacency. A swap changes the
+	// occupants of exactly two cells, so swapPair rebuilds only the ≤ 8 pair
+	// entries touching them; both cells are epoch-stamped by the same swap,
+	// which is what keeps speculative batch tensions consistent (batchDirty
+	// fires whenever a pair's mutw could have changed).
+	mutw []float64
+	// pairScratch is reusable swapPair scratch for the pair ids whose mutw a
+	// swap invalidates (sequential use only).
+	pairScratch []int32
+
 	// Epoch-stamped membership marks for queue and affected-list dedupe,
 	// plus per-cell stamps recording which cells the current epoch's swaps
 	// have touched (speculative-tension invalidation, see batchDirty).
@@ -381,7 +393,7 @@ func newFDEngine(p *pcn.PCN, pl *place.Placement, cfg FDConfig) *fdEngine {
 	if sweepWorkers < 1 || cfg.FullSort {
 		sweepWorkers = 1
 	}
-	return &fdEngine{
+	e := &fdEngine{
 		p:            p,
 		und:          p.Undirected(),
 		pl:           pl,
@@ -395,10 +407,22 @@ func newFDEngine(p *pcn.PCN, pl *place.Placement, cfg FDConfig) *fdEngine {
 		fullSort:     cfg.FullSort,
 		spareStart:   int32(cfg.Constraints.UsableRows(mesh)),
 		force:        make([]float64, 4*mesh.Cores()),
+		mutw:         make([]float64, 2*mesh.Cores()),
+		pairScratch:  make([]int32, 0, 8),
 		pairMark:     make([]int32, 2*mesh.Cores()),
 		clusterMark:  make([]int32, p.NumClusters),
 		cellStamp:    make([]int32, mesh.Cores()),
 	}
+	cols, rows := int32(mesh.Cols), int32(mesh.Rows)
+	for idx := int32(0); idx < int32(mesh.Cores()); idx++ {
+		if idx%cols < cols-1 {
+			e.rebuildMutw(idx * 2)
+		}
+		if idx/cols < rows-1 {
+			e.rebuildMutw(idx*2 + 1)
+		}
+	}
+	return e
 }
 
 // systemEnergy returns E_s (Eq. 23) for the cluster range [lo, hi): the sum
@@ -554,8 +578,21 @@ func (e *fdEngine) pairCells(id int32) (a, b int32, d geom.Dir) {
 	return a, a + int32(e.mesh.Cols), geom.Down
 }
 
+// rebuildMutw recomputes the cached mutual weight of the (in-mesh) pair id
+// from the current occupants of its two cells.
+func (e *fdEngine) rebuildMutw(id int32) {
+	a, b, _ := e.pairCells(id)
+	ca, cb := e.pl.ClusterAt[a], e.pl.ClusterAt[b]
+	if ca == place.None || cb == place.None {
+		e.mutw[id] = 0
+		return
+	}
+	e.mutw[id] = e.mutualWeight(ca, cb)
+}
+
 // mutualWeight returns the combined undirected weight between two clusters
-// (0 when unconnected), via binary search of the sorted adjacency.
+// (0 when unconnected), via binary search of the sorted adjacency. Hot
+// paths read the per-pair mutw cache instead; this is the rebuild primitive.
 func (e *fdEngine) mutualWeight(c1, c2 int32) float64 {
 	tos, ws := e.und.Neighbors(int(c1))
 	lo, hi := 0, len(tos)
@@ -620,7 +657,7 @@ func (e *fdEngine) tension(id int32) float64 {
 		return e.force[int(b)*4+int(d.Opposite())]
 	default:
 		t := e.force[int(a)*4+int(d)] + e.force[int(b)*4+int(d.Opposite())]
-		if w := e.mutualWeight(ca, cb); w != 0 {
+		if w := e.mutw[id]; w != 0 {
 			t -= w * e.unitCorr
 		}
 		return t
@@ -685,6 +722,13 @@ func (e *fdEngine) swapPair(id int32) {
 	e.rebuildForce(b)
 	e.cellStamp[a] = e.epoch
 	e.cellStamp[b] = e.epoch
+	// The swap changed the occupants of cells a and b, invalidating the
+	// cached mutual weights of every pair touching either cell.
+	e.pairScratch = e.pairsTouching(a, e.pairScratch[:0])
+	e.pairScratch = e.pairsTouching(b, e.pairScratch)
+	for _, pid := range e.pairScratch {
+		e.rebuildMutw(pid)
+	}
 
 	if ca != place.None {
 		e.maintainNeighbors(ca, cb, pa, pb)

@@ -54,6 +54,14 @@ type Config struct {
 	// carries its own observer. Nil disables telemetry; observe-only either
 	// way.
 	Obs *obs.Observer
+	// Cache, when non-nil, warm-starts the pipeline from previously stored
+	// artifacts: a full-result hit skips placement and fine-tuning
+	// entirely, an initial-placement hit skips the curve walk, and
+	// successful cold runs are stored for next time. Excluded from cache
+	// keys itself (like Obs and Workers, it never changes the output);
+	// configs with a wall-clock Budget bypass it entirely. See
+	// internal/cache for the on-disk implementation.
+	Cache ResultCache
 }
 
 // Default returns the paper's proposed approach (HSC + FD with u_c).
@@ -90,15 +98,37 @@ func MapContext(ctx context.Context, p *pcn.PCN, mesh hw.Mesh, cfg Config) (Resu
 	if err := ctx.Err(); err != nil {
 		return Result{}, fmt.Errorf("mapping: %v: %w", err, ErrCanceled)
 	}
+	useCache := cfg.cacheable()
+	if useCache {
+		if cr, ok := cfg.Cache.LoadResult(p, mesh, &cfg); ok {
+			return Result{
+				Placement: cr.Placement,
+				FD:        cr.FD,
+				Polish:    cr.Polish,
+				Elapsed:   time.Since(start),
+			}, nil
+		}
+	}
 	c := cfg.Curve
 	if c == nil {
 		c = curve.Hilbert{}
 	}
-	placeSp := cfg.Obs.Span("placement", obs.KV{K: "clusters", V: float64(p.NumClusters)})
-	pl, err := InitialPlacementDefects(p, mesh, c, cfg.Defects, cfg.Constraints)
-	placeSp.End()
-	if err != nil {
-		return Result{}, fmt.Errorf("mapping: initial placement: %w", err)
+	var pl *place.Placement
+	var err error
+	initialCached := false
+	if useCache {
+		pl, initialCached = cfg.Cache.LoadInitial(p, mesh, &cfg)
+	}
+	if !initialCached {
+		placeSp := cfg.Obs.Span("placement", obs.KV{K: "clusters", V: float64(p.NumClusters)})
+		pl, err = InitialPlacementDefects(p, mesh, c, cfg.Defects, cfg.Constraints)
+		placeSp.End()
+		if err != nil {
+			return Result{}, fmt.Errorf("mapping: initial placement: %w", err)
+		}
+		if useCache {
+			cfg.Cache.StoreInitial(p, mesh, &cfg, pl)
+		}
 	}
 	res := Result{Placement: pl}
 	for _, phase := range []struct {
@@ -149,5 +179,8 @@ func MapContext(ctx context.Context, p *pcn.PCN, mesh hw.Mesh, cfg Config) (Resu
 	}
 	res.Snapshot = nil
 	res.Elapsed = time.Since(start)
+	if useCache {
+		cfg.Cache.StoreResult(p, mesh, &cfg, &res)
+	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"snnmap/internal/geom"
 	"snnmap/internal/hw"
 	"snnmap/internal/pcn"
 	"snnmap/internal/place"
@@ -165,5 +166,64 @@ func BenchmarkEvaluateWorkers(b *testing.B) {
 				Evaluate(p, pl, cost, Options{Congestion: CongestionExact, Workers: workers})
 			}
 		})
+	}
+}
+
+// TestExpeMemoBitIdentical is the determinism contract of the Expe DP
+// memo: every Summary field and every congestion-grid cell must be
+// exactly equal with the memo disabled, default-bounded, or squeezed to a
+// tiny budget that forces constant eviction-by-refusal.
+func TestExpeMemoBitIdentical(t *testing.T) {
+	cost := hw.DefaultCostModel()
+	for seed := int64(1); seed <= 3; seed++ {
+		p, pl := randomMetricsWorkload(t, seed, 300, 1500, 18)
+		base := Options{Congestion: CongestionExact, ExpeMemoLimit: -1}
+		want := Evaluate(p, pl, cost, base)
+		for _, limit := range []int{0, 64, 1 << 20} {
+			opts := base
+			opts.ExpeMemoLimit = limit
+			if got := Evaluate(p, pl, cost, opts); got != want {
+				t.Fatalf("seed %d memo limit %d: %+v != memo-off %+v", seed, limit, got, want)
+			}
+		}
+		wantGrid := congestionGrid(p, pl, 1, 1, -1)
+		for _, limit := range []int{0, 64} {
+			got := congestionGrid(p, pl, 1, 4, limit)
+			for i := range wantGrid {
+				if got[i] != wantGrid[i] {
+					t.Fatalf("seed %d limit %d: grid[%d] = %v != %v", seed, limit, i, got[i], wantGrid[i])
+				}
+			}
+		}
+	}
+}
+
+// TestExpeMemoBudgetRespected checks the accumulator never retains more
+// floats than its budget and never caches a grid above the area cap.
+func TestExpeMemoBudgetRespected(t *testing.T) {
+	var a expeAccumulator
+	a.limit = 100
+	grid := make([]float64, 64*64)
+	mesh := hw.MustMesh(64, 64)
+	// Shapes of area 36 each: only two fit in a budget of 100.
+	for i := 0; i < 8; i++ {
+		a.accumulate(grid, mesh, geom.Point{}, geom.Point{X: 5 + i%2, Y: 5 + (i/2)%2}, 1)
+	}
+	if a.memoFloats > a.limit {
+		t.Fatalf("memoFloats = %d exceeds budget %d", a.memoFloats, a.limit)
+	}
+	// Oversized shape must never be cached even under an ample budget.
+	bigMesh := hw.MustMesh(80, 80)
+	bigGrid := make([]float64, 80*80)
+	b := expeAccumulator{limit: 1 << 30}
+	b.accumulate(bigGrid, bigMesh, geom.Point{}, geom.Point{X: 79, Y: 79}, 1)
+	if len(b.memo) != 0 {
+		t.Fatalf("oversized grid was memoized (%d entries)", len(b.memo))
+	}
+	// Disabled memo caches nothing.
+	c := expeAccumulator{limit: -1}
+	c.accumulate(grid, mesh, geom.Point{}, geom.Point{X: 3, Y: 3}, 1)
+	if len(c.memo) != 0 {
+		t.Fatalf("disabled memo cached %d entries", len(c.memo))
 	}
 }

@@ -126,10 +126,69 @@ func fillExpeGrid(grid []float64, dx, dy int) {
 	}
 }
 
+// Memoization bounds for expeAccumulator: only grids up to
+// expeMemoMaxArea floats are cached, and one accumulator never retains
+// more than its float budget (expeMemoDefaultBudget unless overridden =
+// 2 MiB). Accumulators are pooled with at most one live per worker, so
+// live memo memory is bounded by workers × budget.
+const (
+	expeMemoMaxArea       = 4096
+	expeMemoDefaultBudget = 1 << 18
+)
+
+// expeMemoKey packs a bounding-box shape into one map key.
+func expeMemoKey(dx, dy int) uint64 { return uint64(dx)<<32 | uint64(uint32(dy)) }
+
 // expeAccumulator adds per-edge expectation grids into a mesh-sized
-// congestion grid, reusing its DP scratch buffer across edges.
+// congestion grid, reusing its DP scratch buffer across edges and
+// memoizing filled DP grids by bounding-box shape (dx, dy): mesh edges
+// heavily share small bounding boxes, so most edges skip the DP entirely.
+// The memo only ever returns the exact floats the DP would produce, so
+// accumulation is bit-identical with the memo on, off, or bounded.
 type expeAccumulator struct {
 	scratch []float64
+
+	memo       map[uint64][]float64
+	memoFloats int
+	// limit is the memo float budget: 0 selects expeMemoDefaultBudget,
+	// negative disables memoization, positive is a custom budget.
+	limit int
+}
+
+func (a *expeAccumulator) budget() int {
+	switch {
+	case a.limit < 0:
+		return 0
+	case a.limit == 0:
+		return expeMemoDefaultBudget
+	default:
+		return a.limit
+	}
+}
+
+// expeCells returns the filled (dx+1)×(dy+1) DP grid, from the memo when
+// possible. The returned slice is read-only and only valid until the next
+// call (it may alias the scratch buffer).
+func (a *expeAccumulator) expeCells(dx, dy, need int) []float64 {
+	if g, ok := a.memo[expeMemoKey(dx, dy)]; ok {
+		return g
+	}
+	if cap(a.scratch) < need {
+		a.scratch = make([]float64, need)
+	}
+	scratch := a.scratch[:need]
+	clear(scratch)
+	fillExpeGrid(scratch, dx, dy)
+	if need <= expeMemoMaxArea && a.memoFloats+need <= a.budget() {
+		if a.memo == nil {
+			a.memo = make(map[uint64][]float64)
+		}
+		stored := make([]float64, need)
+		copy(stored, scratch)
+		a.memo[expeMemoKey(dx, dy)] = stored
+		a.memoFloats += need
+	}
+	return scratch
 }
 
 // accumulate adds w × Expe(·, src, dst) to every router in the edge's
@@ -137,15 +196,7 @@ type expeAccumulator struct {
 func (a *expeAccumulator) accumulate(grid []float64, mesh hw.Mesh, src, dst geom.Point, w float64) {
 	dx := geom.Abs(dst.X - src.X)
 	dy := geom.Abs(dst.Y - src.Y)
-	need := (dx + 1) * (dy + 1)
-	if cap(a.scratch) < need {
-		a.scratch = make([]float64, need)
-	}
-	scratch := a.scratch[:need]
-	for i := range scratch {
-		scratch[i] = 0
-	}
-	fillExpeGrid(scratch, dx, dy)
+	cells := a.expeCells(dx, dy, (dx+1)*(dy+1))
 
 	sx, sy := 1, 1
 	if dst.X < src.X {
@@ -158,7 +209,7 @@ func (a *expeAccumulator) accumulate(grid []float64, mesh hw.Mesh, src, dst geom
 	for u := 0; u <= dx; u++ {
 		row := (src.X + sx*u) * mesh.Cols
 		for v := 0; v <= dy; v++ {
-			grid[row+src.Y+sy*v] += w * scratch[u*gw+v]
+			grid[row+src.Y+sy*v] += w * cells[u*gw+v]
 		}
 	}
 }

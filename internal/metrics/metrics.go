@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"snnmap/internal/geom"
@@ -93,7 +94,18 @@ type Options struct {
 	// reduction order and every Summary value are identical with or
 	// without an observer.
 	Obs *obs.Observer
+	// ExpeMemoLimit bounds the per-accumulator Expe DP memo (in floats):
+	// 0 uses the default budget, a negative value disables memoization, a
+	// positive value is a custom budget. The memo is a pure speed knob —
+	// every Summary value is bit-identical at any setting.
+	ExpeMemoLimit int
 }
+
+// Resolved returns the options with documentation defaults filled in
+// (SampleEdges, ExactWorkLimit), exactly as Evaluate resolves them. Cache
+// keys hash the resolved form so a zero field and its explicit default
+// produce the same key.
+func (o Options) Resolved() Options { return o.withDefaults() }
 
 func (o Options) withDefaults() Options {
 	if o.SampleEdges <= 0 {
@@ -221,10 +233,10 @@ func Evaluate(p *pcn.PCN, pl *place.Placement, cost hw.CostModel, opts Options) 
 	}
 	switch mode {
 	case CongestionExact:
-		grid := CongestionGrid(p, pl, 1, opts.Workers)
+		grid := congestionGrid(p, pl, 1, opts.Workers, opts.ExpeMemoLimit)
 		s.MaxCongestion = maxOf(grid)
 	case CongestionSampled:
-		grid := CongestionGrid(p, pl, stride, opts.Workers)
+		grid := congestionGrid(p, pl, stride, opts.Workers, opts.ExpeMemoLimit)
 		if stride > 1 && sampledWeight > 0 {
 			// Rescale by the sampled traffic share so the grid estimates
 			// the full-population congestion.
@@ -279,6 +291,12 @@ func maxOf(grid []float64) float64 {
 // independent of workers and the sequential path uses the same per-chunk
 // accumulation, so the grid is bit-identical for every worker count.
 func CongestionGrid(p *pcn.PCN, pl *place.Placement, stride, workers int) []float64 {
+	return congestionGrid(p, pl, stride, workers, 0)
+}
+
+// congestionGrid is CongestionGrid with the Expe memo budget exposed
+// (Options.ExpeMemoLimit semantics).
+func congestionGrid(p *pcn.PCN, pl *place.Placement, stride, workers, memoLimit int) []float64 {
 	if stride < 1 {
 		stride = 1
 	}
@@ -292,8 +310,15 @@ func CongestionGrid(p *pcn.PCN, pl *place.Placement, stride, workers int) []floa
 	if maxGrids := 1 << 23 / max(cores, 1); k > maxGrids {
 		k = max(maxGrids, 1)
 	}
+	// Accumulators carry the Expe DP memo, so they must outlive a single
+	// chunk to pay off: pool them for reuse across chunks. At most one per
+	// worker is live at a time, keeping memo memory bounded by
+	// workers × budget; sharing makes no observable difference because the
+	// memo returns exactly the floats the DP would produce.
+	accPool := sync.Pool{New: func() any { return &expeAccumulator{limit: memoLimit} }}
 	accumulate := func(ci int, dst []float64) {
-		var acc expeAccumulator
+		acc := accPool.Get().(*expeAccumulator)
+		defer accPool.Put(acc)
 		lo, hi := ci*n/k, (ci+1)*n/k
 		for c := lo; c < hi; c++ {
 			src := pl.Of(c)

@@ -28,6 +28,7 @@ import (
 	"io"
 
 	"snnmap/internal/baseline"
+	"snnmap/internal/cache"
 	"snnmap/internal/codec"
 	"snnmap/internal/curve"
 	"snnmap/internal/hw"
@@ -507,6 +508,27 @@ func PACMANPlacement(p *PCN, mesh Mesh, opts BaselineOptions) (*Placement, Basel
 func AnnealingPlacement(p *PCN, mesh Mesh, opts BaselineOptions) (*Placement, BaselineStats, error) {
 	return baseline.SimulatedAnnealing(p, mesh, opts)
 }
+
+// Caching. A content-addressed on-disk artifact store warm-starts the
+// pipeline: set Config.Cache (or RunOptions.Cache) to an opened cache and
+// repeated runs with identical inputs skip partitioning, placement,
+// fine-tuning and metric evaluation. Warm results are bit-identical to the
+// cold run; corrupt or deleted entries silently degrade to a cold run.
+type (
+	// Cache is the on-disk artifact store (safe for concurrent use).
+	Cache = cache.Cache
+	// CacheConfig configures OpenCache (directory, cost model for
+	// defect-delta remaps, RemapDelta opt-in).
+	CacheConfig = cache.Config
+	// CacheStats is a snapshot of hit/miss/remap/corruption counters.
+	CacheStats = cache.Stats
+	// ResultCache is the interface Config.Cache accepts; *Cache
+	// implements it.
+	ResultCache = mapping.ResultCache
+)
+
+// OpenCache opens (creating if needed) an artifact cache rooted at cfg.Dir.
+func OpenCache(cfg CacheConfig) (*Cache, error) { return cache.New(cfg) }
 
 // Persistence and export.
 
