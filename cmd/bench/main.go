@@ -59,11 +59,19 @@ type Record struct {
 	// BytesPerOp reports the payload size of codec operations (the encoded
 	// snapshot size for snapshot-encode/decode); 0 elsewhere.
 	BytesPerOp int64 `json:"bytes_per_op,omitempty"`
+	// PeakBytes is the heap high-water mark of headline pipeline records
+	// (sampled via runtime.ReadMemStats, see expt.RunHeadline); 0 elsewhere.
+	PeakBytes int64 `json:"peak_bytes,omitempty"`
 	// Gomaxprocs is the effective GOMAXPROCS when this record was
 	// measured. Worker/shard sweeps recorded on a single-core box
 	// legitimately read ~1.0x; the per-record value keeps that visible
 	// even when records from different machines are compared.
 	Gomaxprocs int `json:"gomaxprocs"`
+	// Warning marks records whose speedup field was suppressed: a
+	// worker/shard-scaling ratio measured with GOMAXPROCS=1 reads the
+	// scheduler, not the implementation, so it is zeroed and annotated
+	// rather than recorded as a ~1.0x regression.
+	Warning string `json:"warning,omitempty"`
 }
 
 // SectionTime is the wall-clock total of one benchmark section — every
@@ -132,24 +140,45 @@ func main() {
 			secSpan = o.Span("bench." + name)
 		}
 	}
-	if !smoke && rep.GOMAXPROCS == 1 {
-		rep.Warning = "full tier recorded with gomaxprocs=1: worker/shard sweep speedups reflect a single-core machine, not the implementation"
+	if rep.GOMAXPROCS == 1 {
+		rep.Warning = "recorded with gomaxprocs=1: worker/shard scaling speedups are suppressed per record (a single-core ratio measures the scheduler, not the implementation)"
 		fmt.Fprintf(os.Stderr, "bench: warning: %s\n", rep.Warning)
 	}
-	addBytes := func(op, workload string, r testing.BenchmarkResult, speedup float64, bytes int64) {
-		rec := Record{Op: op, Workload: workload, NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(), SpeedupVsSequential: speedup, BytesPerOp: bytes, Gomaxprocs: runtime.GOMAXPROCS(0)}
+	push := func(rec Record) {
+		rec.Gomaxprocs = runtime.GOMAXPROCS(0)
 		rep.Records = append(rep.Records, rec)
 		note := ""
-		if speedup > 0 {
-			note = fmt.Sprintf("  (%.2fx vs sequential)", speedup)
+		if rec.SpeedupVsSequential > 0 {
+			note = fmt.Sprintf("  (%.2fx vs sequential)", rec.SpeedupVsSequential)
 		}
-		if bytes > 0 {
-			note += fmt.Sprintf("  %d bytes", bytes)
+		if rec.BytesPerOp > 0 {
+			note += fmt.Sprintf("  %d bytes", rec.BytesPerOp)
 		}
-		fmt.Fprintf(os.Stderr, "%-28s %-14s %12d ns/op %8d allocs/op%s\n", op, workload, r.NsPerOp(), r.AllocsPerOp(), note)
+		if rec.PeakBytes > 0 {
+			note += fmt.Sprintf("  peak %.1f MiB", float64(rec.PeakBytes)/(1<<20))
+		}
+		if rec.Warning != "" {
+			note += "  [" + rec.Warning + "]"
+		}
+		fmt.Fprintf(os.Stderr, "%-28s %-14s %12d ns/op %8d allocs/op%s\n", rec.Op, rec.Workload, rec.NsPerOp, rec.AllocsPerOp, note)
+	}
+	addBytes := func(op, workload string, r testing.BenchmarkResult, speedup float64, bytes int64) {
+		push(Record{Op: op, Workload: workload, NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(), SpeedupVsSequential: speedup, BytesPerOp: bytes})
 	}
 	add := func(op, workload string, r testing.BenchmarkResult, speedup float64) {
 		addBytes(op, workload, r, speedup, 0)
+	}
+	// addParallel records a worker/shard-scaling measurement whose speedup
+	// baseline is the same op at workers=1. With GOMAXPROCS=1 the ratio is a
+	// machine artifact, so it is suppressed and annotated instead.
+	addParallel := func(op, workload string, r testing.BenchmarkResult, seqNs int64) {
+		rec := Record{Op: op, Workload: workload, NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp()}
+		if runtime.GOMAXPROCS(0) == 1 {
+			rec.Warning = "gomaxprocs=1: parallel speedup suppressed"
+		} else if seqNs > 0 && r.NsPerOp() > 0 {
+			rec.SpeedupVsSequential = float64(seqNs) / float64(r.NsPerOp())
+		}
+		push(rec)
 	}
 
 	// --- Mapping pipeline on a real Table 3 workload ---
@@ -229,16 +258,16 @@ func main() {
 				}
 			}
 		})
-		speedup := 0.0
 		if workers == 1 {
 			mlSeqNs = r.NsPerOp()
+			speedup := 0.0
 			if r.NsPerOp() > 0 {
 				speedup = float64(flatRefine.NsPerOp()) / float64(r.NsPerOp())
 			}
-		} else if mlSeqNs > 0 && r.NsPerOp() > 0 {
-			speedup = float64(mlSeqNs) / float64(r.NsPerOp())
+			add("partition/multilevel/workers=1", partWl, r, speedup)
+		} else {
+			addParallel(fmt.Sprintf("partition/multilevel/workers=%d", workers), partWl, r, mlSeqNs)
 		}
-		add(fmt.Sprintf("partition/multilevel/workers=%d", workers), partWl, r, speedup)
 	}
 
 	section("initial-placement")
@@ -300,16 +329,16 @@ func main() {
 	var fdSeqNs int64
 	for _, workers := range sweepFromEnv("BENCH_FD_WORKERS", []int{1, 2, 4, 8}) {
 		r := benchFD(mapping.FDConfig{Workers: workers})
-		speedup := 0.0
 		if workers == 1 {
 			fdSeqNs = r.NsPerOp()
+			speedup := 0.0
 			if r.NsPerOp() > 0 {
 				speedup = float64(fullSort.NsPerOp()) / float64(r.NsPerOp())
 			}
-		} else if fdSeqNs > 0 && r.NsPerOp() > 0 {
-			speedup = float64(fdSeqNs) / float64(r.NsPerOp())
+			add("fd-finetune/workers=1", fdWl, r, speedup)
+		} else {
+			addParallel(fmt.Sprintf("fd-finetune/workers=%d", workers), fdWl, r, fdSeqNs)
 		}
-		add(fmt.Sprintf("fd-finetune/workers=%d", workers), fdWl, r, speedup)
 	}
 
 	// fd-finetune/obs=trace reruns the workers=1 sweep with a live trace
@@ -382,13 +411,12 @@ func main() {
 				metrics.Evaluate(mp, mpl, cost, metrics.Options{Congestion: metrics.CongestionExact, Workers: w})
 			}
 		})
-		speedup := 0.0
 		if workers == 1 {
 			seqNs = r.NsPerOp()
-		} else if r.NsPerOp() > 0 {
-			speedup = float64(seqNs) / float64(r.NsPerOp())
+			add("metrics-evaluate/workers=1", mwl, r, 0)
+		} else {
+			addParallel(fmt.Sprintf("metrics-evaluate/workers=%d", workers), mwl, r, seqNs)
 		}
-		add(fmt.Sprintf("metrics-evaluate/workers=%d", workers), mwl, r, speedup)
 	}
 
 	// metrics-evaluate/expe-memo=off disables the per-call Expe DP grid
@@ -541,13 +569,87 @@ func main() {
 				}
 			}
 		})
-		speedup := 0.0
 		if shards == 1 {
 			oneShardNs = r.NsPerOp()
-		} else if oneShardNs > 0 && r.NsPerOp() > 0 {
-			speedup = float64(oneShardNs) / float64(r.NsPerOp())
+			add("noc-sim/sharded/shards=1", shardWl, r, 0)
+		} else {
+			addParallel(fmt.Sprintf("noc-sim/sharded/shards=%d", shards), shardWl, r, oneShardNs)
 		}
-		add(fmt.Sprintf("noc-sim/sharded/shards=%d", shards), shardWl, r, speedup)
+	}
+
+	// --- Headline: instrumented end-to-end pipeline with peak-heap splits ---
+	// pipeline/headline runs the full proposed pipeline (layer-spec
+	// expansion → parallel HSC placement → FD fine-tuning → metrics
+	// evaluation) once via expt.RunHeadline — the same instrumentation
+	// cmd/experiments -run headline prints — and records per-stage wall
+	// time, allocation counts and the sampled heap high-water mark
+	// (peak_bytes). A single instrumented run rather than testing.Benchmark:
+	// the op is seconds-scale and the high-water sampler must bracket
+	// exactly one execution. The full tier uses DNN_268M; BENCH_SCALE=full
+	// substitutes DNN_4B (the paper's 1 M-core headline workload, several
+	// GB of heap); the smoke tier uses DNN_65K. BENCH_HEADLINE_FD caps the
+	// fine-tuning iterations (default 2) so the record measures a fixed
+	// amount of work.
+	section("headline")
+	headlineWl := "DNN_268M"
+	switch {
+	case smoke:
+		headlineWl = "DNN_65K"
+	case os.Getenv("BENCH_SCALE") == "full":
+		headlineWl = "DNN_4B"
+	}
+	headlineFD := 2
+	if v := os.Getenv("BENCH_HEADLINE_FD"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			fatal(fmt.Errorf("BENCH_HEADLINE_FD=%q: want a non-negative int", v))
+		}
+		headlineFD = n
+	}
+	hres, err := expt.RunHeadline(headlineWl, expt.RunOptions{Workers: runtime.GOMAXPROCS(0)}, expt.HeadlineOptions{FDIterations: headlineFD})
+	if err != nil {
+		fatal(err)
+	}
+	var headlineAllocs int64
+	for _, s := range hres.Stages {
+		headlineAllocs += int64(s.Allocs)
+		push(Record{Op: "pipeline/headline/" + s.Name, Workload: headlineWl,
+			NsPerOp: s.Wall.Nanoseconds(), AllocsPerOp: int64(s.Allocs), PeakBytes: int64(s.PeakBytes)})
+	}
+	push(Record{Op: "pipeline/headline", Workload: headlineWl,
+		NsPerOp: hres.TotalWall.Nanoseconds(), AllocsPerOp: headlineAllocs, PeakBytes: int64(hres.PeakBytes)})
+
+	// pipeline/headline/hsc-place/workers=N isolates the parallel HSC fill
+	// on the headline PCN (the process-memoized expansion — identical input
+	// to the instrumented run by the expansion's determinism): workers=1 is
+	// the baseline, higher counts record the scaling (suppressed at
+	// gomaxprocs=1 like every parallel sweep).
+	hwl, err := expt.WorkloadByName(headlineWl)
+	if err != nil {
+		fatal(err)
+	}
+	hp, hmesh, err := hwl.Build()
+	if err != nil {
+		fatal(err)
+	}
+	var hscSeqNs int64
+	for _, workers := range sweepFromEnv("BENCH_HSC_WORKERS", []int{1, 2, 4, 8}) {
+		w := workers
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mapping.InitialPlacementWorkers(hp, hmesh, curve.Hilbert{}, nil, hw.Constraints{}, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		op := fmt.Sprintf("pipeline/headline/hsc-place/workers=%d", workers)
+		if workers == 1 {
+			hscSeqNs = r.NsPerOp()
+			add(op, headlineWl, r, 0)
+		} else {
+			addParallel(op, headlineWl, r, hscSeqNs)
+		}
 	}
 
 	section("")

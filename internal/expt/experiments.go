@@ -308,27 +308,15 @@ func Fig13(w io.Writer) {
 
 // Headline runs the proposed approach on a single workload and prints the
 // §5.3 headline numbers (the paper: DNN_4B, 1 M cores, mapped in seconds
-// while all baselines exceed 100 hours).
+// while all baselines exceed 100 hours). The per-stage wall/peak-heap
+// split table comes from the same RunHeadline instrumentation cmd/bench
+// records into BENCH_eval.json.
 func Headline(w io.Writer, workload string, opts RunOptions) error {
-	wl, err := WorkloadByName(workload)
+	res, err := RunHeadline(workload, opts, HeadlineOptions{})
 	if err != nil {
 		return err
 	}
-	p, mesh, err := buildFor(wl, opts)
-	if err != nil {
-		return err
-	}
-	opts = opts.withDefaults()
-	fmt.Fprintf(w, "%s: %s neurons, %d clusters, %s connections, %v mesh\n",
-		wl.Name, humanCount(wl.Net().NumNeurons()), p.NumClusters, humanCount(p.NumEdges()), mesh)
-	m := Proposed()
-	pl, stats, err := m.Run(p, mesh, opts)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "proposed approach solved in %s%s\n", fmtDuration(stats.Elapsed), esMark(stats.EarlyStopped))
-	sum := metrics.Evaluate(p, pl, opts.Cost, metrics.Options{Workers: opts.Workers, Obs: opts.Obs})
-	fmt.Fprintf(w, "metrics: %s\n", sum)
+	res.Render(w)
 	return nil
 }
 

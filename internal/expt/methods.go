@@ -29,10 +29,11 @@ type RunOptions struct {
 	// Constraints is the capacity baseline Defects' degrade scales apply
 	// to (zero value = unconstrained).
 	Constraints hw.Constraints
-	// Workers fans FD fine-tuning (the build phases and the swap sweep's
-	// tension evaluation) and metrics evaluation out over up to this many
-	// goroutines (0 or 1 = sequential). Results are bit-identical across
-	// worker counts for both, per mapping.FDConfig's and
+	// Workers fans the HSC initial placement fill, FD fine-tuning (the
+	// build phases and the swap sweep's tension evaluation) and metrics
+	// evaluation out over up to this many goroutines (0 or 1 =
+	// sequential). Results are bit-identical across worker counts for all
+	// three, per mapping.Config.Workers', mapping.FDConfig's and
 	// metrics.Options' contracts.
 	Workers int
 	// SimShards partitions NoC simulation runs into this many row-strip
@@ -87,6 +88,7 @@ func curveMethod(name string, c curve.Curve) Method {
 	return Method{Name: name, Run: func(p *pcn.PCN, mesh hw.Mesh, opts RunOptions) (*place.Placement, MethodStats, error) {
 		res, err := mapping.Map(p, mesh, mapping.Config{
 			Curve:       c,
+			Workers:     opts.Workers,
 			Defects:     opts.Defects,
 			Constraints: opts.Constraints,
 			Obs:         opts.Obs,
@@ -114,6 +116,7 @@ func fdMethod(name string, c curve.Curve, pot func(hw.CostModel) mapping.Potenti
 			res, err := mapping.Map(p, mesh, mapping.Config{
 				Curve:       c,
 				FD:          fd,
+				Workers:     opts.Workers,
 				Defects:     opts.Defects,
 				Constraints: opts.Constraints,
 				Obs:         opts.Obs,

@@ -2,6 +2,8 @@ package mapping
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"snnmap/internal/curve"
 	"snnmap/internal/hw"
@@ -16,7 +18,7 @@ import (
 // works; the paper's approach uses the Hilbert curve, with ZigZag and Circle
 // retained for the Figure 6/8 comparisons.
 func InitialPlacement(p *pcn.PCN, mesh hw.Mesh, c curve.Curve) (*place.Placement, error) {
-	return InitialPlacementDefects(p, mesh, c, nil, hw.Constraints{})
+	return InitialPlacementWorkers(p, mesh, c, nil, hw.Constraints{}, 1)
 }
 
 // InitialPlacementDefects is InitialPlacement on a defective mesh: the curve
@@ -28,6 +30,20 @@ func InitialPlacement(p *pcn.PCN, mesh hw.Mesh, c curve.Curve) (*place.Placement
 // wrapping place.ErrUnplaceable when the healthy usable mesh cannot hold the
 // PCN.
 func InitialPlacementDefects(p *pcn.PCN, mesh hw.Mesh, c curve.Curve, d *hw.DefectMap, cons hw.Constraints) (*place.Placement, error) {
+	return InitialPlacementWorkers(p, mesh, c, d, cons, 1)
+}
+
+// InitialPlacementWorkers is InitialPlacementDefects fanned out over up to
+// workers goroutines (0 or 1 = sequential). The curve sequence is split into
+// fixed chunks whose layout depends only on the mesh size — never on the
+// worker count — and each chunk's cluster ranks follow from a prefix sum of
+// per-chunk usable-cell counts, so every goroutine writes a disjoint,
+// worker-count-independent set of placement slots: results are bit-identical
+// at any workers value to the retained sequential curve walk. Meshes with
+// capacity-degraded cells fall back to that sequential walk, because there
+// the cell a cluster lands on depends on whether the preceding clusters fit
+// the degraded cells before it.
+func InitialPlacementWorkers(p *pcn.PCN, mesh hw.Mesh, c curve.Curve, d *hw.DefectMap, cons hw.Constraints, workers int) (*place.Placement, error) {
 	if cons.SpareRows < 0 {
 		return nil, fmt.Errorf("mapping: %w: negative SpareRows %d", place.ErrBadConfig, cons.SpareRows)
 	}
@@ -42,8 +58,89 @@ func InitialPlacementDefects(p *pcn.PCN, mesh hw.Mesh, c curve.Curve, d *hw.Defe
 		return nil, fmt.Errorf("mapping: %d clusters exceed %v mesh healthy capacity %d (%d usable rows, %d dead cores): %w",
 			p.NumClusters, mesh, healthy, usableRows, d.NumDead(), place.ErrUnplaceable)
 	}
+	if d.NumDegraded() > 0 {
+		// Degraded capacities make the walk inherently sequential: whether a
+		// cell is skipped depends on the cluster that reaches it.
+		return initialPlacementSeq(p, mesh, c, d, cons, usableRows)
+	}
+	// Monotone PCNs (all partitioners emit clusters in layer order) have the
+	// identity topological order, so the rank → cluster table is skipped
+	// entirely; otherwise materialize it once.
+	var order []int32
+	if !toposort.Monotone(p) {
+		order = toposort.Order(p)
+	}
+	pl, err := place.New(p.NumClusters, mesh)
+	if err != nil {
+		return nil, err
+	}
+	assign := func(rank, idx int) {
+		cl := int32(rank)
+		if order != nil {
+			cl = order[rank]
+		}
+		pl.PosOf[cl] = int32(idx)
+		pl.ClusterAt[idx] = cl
+	}
+	if usableRows == mesh.Rows && d.NumDead() == 0 {
+		// Pristine mesh: curve step r holds the rank-r cluster directly.
+		runPlaceChunks(workers, p.NumClusters, func(_, lo, hi int) {
+			for r := lo; r < hi; r++ {
+				assign(r, mesh.Index(c.At(mesh.Rows, mesh.Cols, r)))
+			}
+		})
+		return pl, nil
+	}
+	// Defect-aware skip list, built once in two chunked passes instead of
+	// rescanning per cluster: count the usable cells of each fixed chunk of
+	// the curve sequence, prefix-sum the counts into per-chunk starting
+	// ranks, then fill. A cell's rank is the number of usable cells before
+	// it on the curve — a pure function of mesh and defects, so the fill is
+	// chunk-order- and worker-count-independent.
+	total := mesh.Rows * mesh.Cols
+	usable := func(s int) (int, bool) {
+		pt := c.At(mesh.Rows, mesh.Cols, s)
+		if pt.X >= usableRows {
+			return 0, false // reserved spare row
+		}
+		idx := mesh.Index(pt)
+		return idx, !d.IsDead(idx)
+	}
+	counts := make([]int, placeChunksOf(total))
+	runPlaceChunks(workers, total, func(ci, lo, hi int) {
+		n := 0
+		for s := lo; s < hi; s++ {
+			if _, ok := usable(s); ok {
+				n++
+			}
+		}
+		counts[ci] = n
+	})
+	starts := make([]int, len(counts))
+	run := 0
+	for ci, n := range counts {
+		starts[ci] = run
+		run += n
+	}
+	runPlaceChunks(workers, total, func(ci, lo, hi int) {
+		r := starts[ci]
+		for s := lo; s < hi && r < p.NumClusters; s++ {
+			if idx, ok := usable(s); ok {
+				assign(r, idx)
+				r++
+			}
+		}
+	})
+	return pl, nil
+}
+
+// initialPlacementSeq is the retained sequential curve walk: the oracle the
+// parallel fill is tested against, and the fallback for capacity-degraded
+// meshes. usableRows and the healthy-capacity check are already validated by
+// the caller.
+func initialPlacementSeq(p *pcn.PCN, mesh hw.Mesh, c curve.Curve, d *hw.DefectMap, cons hw.Constraints, usableRows int) (*place.Placement, error) {
 	order := toposort.Order(p)
-	pts := c.Points(mesh.Rows, mesh.Cols)
+	pts := curve.Shared(c, mesh.Rows, mesh.Cols)
 	pl, err := place.New(p.NumClusters, mesh)
 	if err != nil {
 		return nil, err
@@ -85,4 +182,64 @@ func clusterFits(p *pcn.PCN, c int, cons hw.Constraints, scale float64) bool {
 	}
 	sc := cons.Scale(scale)
 	return sc.FitsNeurons(int(p.Neurons[c])) && sc.FitsSynapses(int(p.Synapses[c]))
+}
+
+// placeChunks is the fixed chunk count of the parallel placement fill. Like
+// the FD sweep's and the matcher's chunk layouts it must depend only on the
+// problem size, never on the worker count (DESIGN.md §10).
+const placeChunks = 64
+
+// placeChunksOf lowers the chunk count so no chunk is empty.
+func placeChunksOf(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n < placeChunks {
+		return n
+	}
+	return placeChunks
+}
+
+// runPlaceChunks executes fn(ci, lo, hi) for every chunk of [0, n). With
+// workers <= 1 it runs inline in chunk order; otherwise min(workers, k)
+// goroutines pull chunk indices from an atomic counter. Which goroutine
+// computes which chunk is irrelevant: chunks write disjoint slots.
+func runPlaceChunks(workers, n int, fn func(ci, lo, hi int)) {
+	k := placeChunksOf(n)
+	chunk := (n + k - 1) / k
+	run := func(ci int) {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			fn(ci, lo, hi)
+		}
+	}
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 || k == 1 {
+		for ci := 0; ci < k; ci++ {
+			run(ci)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= k {
+					return
+				}
+				run(ci)
+			}
+		}()
+	}
+	wg.Wait()
 }

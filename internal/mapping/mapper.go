@@ -41,6 +41,12 @@ type Config struct {
 	// u_c shapes the layout, the energy potential then descends the true
 	// M_ec objective from an already-good configuration.
 	Polish *FDConfig
+	// Workers fans the initial placement's curve-position fill out over up
+	// to this many goroutines (0 or 1 = sequential). Results are
+	// bit-identical at any count per InitialPlacementWorkers' contract;
+	// like FDConfig.Workers it is excluded from cache keys. Each FD phase
+	// keeps its own FDConfig.Workers knob.
+	Workers int
 	// Defects marks dead cores, degraded capacities and failed links of
 	// the physical mesh. The initial placement lays the curve sequence
 	// over healthy cores only, and fine-tuning never swaps onto a dead or
@@ -121,7 +127,7 @@ func MapContext(ctx context.Context, p *pcn.PCN, mesh hw.Mesh, cfg Config) (Resu
 	}
 	if !initialCached {
 		placeSp := cfg.Obs.Span("placement", obs.KV{K: "clusters", V: float64(p.NumClusters)})
-		pl, err = InitialPlacementDefects(p, mesh, c, cfg.Defects, cfg.Constraints)
+		pl, err = InitialPlacementWorkers(p, mesh, c, cfg.Defects, cfg.Constraints, cfg.Workers)
 		placeSp.End()
 		if err != nil {
 			return Result{}, fmt.Errorf("mapping: initial placement: %w", err)

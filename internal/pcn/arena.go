@@ -1,0 +1,61 @@
+package pcn
+
+// levelArena recycles the transient scratch of the multilevel coarsening
+// loop across hierarchy levels. Every level used to allocate fresh matching
+// vectors and contraction bound buffers (the bound buffer alone holds every
+// fine edge twice); levels shrink geometrically, so the level-0 allocation
+// covers the whole hierarchy and the churn collapses to one allocation per
+// buffer. The arena is confined to a single multilevelGroup call — no
+// sync.Pool, no cross-goroutine sharing — and each grab reslices to the
+// exact requested length, so stale tail contents are never observable.
+// DESIGN.md §10 records the reuse rule: a buffer may live in the arena only
+// if its contents are dead by the time the next level grabs it.
+type levelArena struct {
+	// heavyEdgeMatch scratch.
+	match, pref []int32
+	counts      []int64
+	// contract scratch (coarseOf and the coarse CSR survive the level and
+	// are NOT pooled).
+	first, second, cnt []int32
+	bound              []int64
+	selfW              []float64
+	bufTo              []int32
+	bufW               []float64
+	// refineLevel scratch, indexed by part (the part count is constant
+	// across levels). Both are kept all-zero/false between calls by
+	// refineLevel's candidate-list reset.
+	gain []float64
+	seen []bool
+}
+
+func grabI32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func grabI64(buf *[]int64, n int) []int64 {
+	if cap(*buf) < n {
+		*buf = make([]int64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func grabF64(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func grabBool(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}

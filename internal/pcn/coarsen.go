@@ -26,8 +26,14 @@ type gLevel struct {
 // contract builds the coarser level from a matching. The returned internal
 // weight is the undirected edge weight that became internal to coarse
 // vertices (used for conservation checks; self-loop weight is seen from
-// both endpoints, so it is halved here).
-func contract(lv *gLevel, match []int32, workers int) (*gLevel, float64) {
+// both endpoints, so it is halved here). ar recycles the transient gather
+// buffers across levels (nil allocates fresh); everything the coarse level
+// keeps — coarseOf, the occupancy vectors and the final CSR — is allocated
+// per level as before.
+func contract(lv *gLevel, match []int32, workers int, ar *levelArena) (*gLevel, float64) {
+	if ar == nil {
+		ar = &levelArena{}
+	}
 	n := len(lv.neurons)
 	coarseOf := make([]int32, n)
 	// Pair representatives in fine order; nc is the coarse vertex count.
@@ -43,8 +49,8 @@ func contract(lv *gLevel, match []int32, workers int) (*gLevel, float64) {
 		}
 		nc++
 	}
-	first := make([]int32, nc)
-	second := make([]int32, nc)
+	first := grabI32(&ar.first, nc)
+	second := grabI32(&ar.second, nc)
 	cN := make([]int32, nc)
 	cS := make([]int64, nc)
 	cL := make([]int32, nc)
@@ -73,7 +79,8 @@ func contract(lv *gLevel, match []int32, workers int) (*gLevel, float64) {
 
 	// Upper-bound offsets: the merged degree of a coarse vertex is at most
 	// the sum of its members' degrees.
-	bound := make([]int64, nc+1)
+	bound := grabI64(&ar.bound, nc+1)
+	bound[0] = 0
 	for c := 0; c < nc; c++ {
 		d := int64(lv.u.Degree(int(first[c])))
 		if second[c] >= 0 {
@@ -81,10 +88,10 @@ func contract(lv *gLevel, match []int32, workers int) (*gLevel, float64) {
 		}
 		bound[c+1] = bound[c] + d
 	}
-	bufTo := make([]int32, bound[nc])
-	bufW := make([]float64, bound[nc])
-	cnt := make([]int32, nc)
-	selfW := make([]float64, nc)
+	bufTo := grabI32(&ar.bufTo, int(bound[nc]))
+	bufW := grabF64(&ar.bufW, int(bound[nc]))
+	cnt := grabI32(&ar.cnt, nc)
+	selfW := grabF64(&ar.selfW, nc)
 
 	runMatchChunks(workers, nc, func(_, lo, hi int) {
 		for c := lo; c < hi; c++ {

@@ -87,15 +87,20 @@ func runMatchChunks(workers, n int, fn func(ci, lo, hi int)) {
 // eligible when the merged neuron weight fits mergeCap (and the merged
 // synapse weight fits synCap when synCap > 0) and, with splitLayers, both
 // vertices carry the same layer tag (untagged vertices, layer < 0, match
-// freely). rounds bounds the proposal/acceptance sweeps.
-func heavyEdgeMatch(u *Undirected, neurons []int32, synapses []int64, layer []int32, mergeCap int, synCap int64, splitLayers bool, rounds, workers int) []int32 {
+// freely). rounds bounds the proposal/acceptance sweeps. ar recycles the
+// match/pref/counts scratch across coarsening levels (nil allocates fresh);
+// the returned matching aliases the arena and is valid until the next grab.
+func heavyEdgeMatch(u *Undirected, neurons []int32, synapses []int64, layer []int32, mergeCap int, synCap int64, splitLayers bool, rounds, workers int, ar *levelArena) []int32 {
+	if ar == nil {
+		ar = &levelArena{}
+	}
 	n := len(neurons)
-	match := make([]int32, n)
-	pref := make([]int32, n)
+	match := grabI32(&ar.match, n)
+	pref := grabI32(&ar.pref, n)
 	for v := range match {
 		match[v] = -1
 	}
-	counts := make([]int64, matchChunksOf(n))
+	counts := grabI64(&ar.counts, matchChunksOf(n))
 	for r := 0; r < rounds; r++ {
 		runMatchChunks(workers, n, func(_, lo, hi int) {
 			for v := lo; v < hi; v++ {

@@ -310,6 +310,11 @@ func ExpandMultilevel(n *snn.Net, cfg PartitionConfig) (*PCN, MultilevelStats, e
 	}
 	o := opts.withDefaults()
 	cfg.Multilevel = nil
+	if cfg.Workers <= 0 {
+		// Fan the expander's per-cluster CSR sort with the multilevel worker
+		// pool unless the caller pinned a count (bit-identity-preserving).
+		cfg.Workers = o.Workers
+	}
 	sp := cfg.Obs.Span("partition.multilevel")
 	defer func() { sp.End() }()
 
@@ -433,10 +438,13 @@ func multilevelGroup(base *gLevel, total int64, cfg PartitionConfig, o Multileve
 	}
 
 	coarsenSp := cfg.Obs.Span("multilevel.coarsen")
+	// One arena serves the whole hierarchy: levels shrink geometrically, so
+	// the level-0 scratch is grabbed once and every later level reslices it.
+	ar := &levelArena{}
 	levels := []*gLevel{base}
 	lv := base
 	for len(levels) <= o.MaxLevels && len(lv.neurons) > target {
-		match := heavyEdgeMatch(lv.u, lv.neurons, lv.synapses, lv.layer, npc, synCap, cfg.SplitAtLayers, o.MatchRounds, o.Workers)
+		match := heavyEdgeMatch(lv.u, lv.neurons, lv.synapses, lv.layer, npc, synCap, cfg.SplitAtLayers, o.MatchRounds, o.Workers, ar)
 		pairs := 0
 		for v, m := range match {
 			if int(m) > v {
@@ -448,7 +456,7 @@ func multilevelGroup(base *gLevel, total int64, cfg PartitionConfig, o Multileve
 		if pairs*32 < len(match) {
 			break
 		}
-		coarse, _ := contract(lv, match, o.Workers)
+		coarse, _ := contract(lv, match, o.Workers, ar)
 		levels = append(levels, coarse)
 		if cfg.Obs.Enabled() {
 			cfg.Obs.Counter("multilevel.level",
@@ -488,7 +496,7 @@ func multilevelGroup(base *gLevel, total int64, cfg PartitionConfig, o Multileve
 	}
 
 	uncoarsenSp := cfg.Obs.Span("multilevel.uncoarsen")
-	moves := refineLevel(lv, partOf, partN, partS, partLayer, partVerts, cfg, o, npc, synCap)
+	moves := refineLevel(lv, partOf, partN, partS, partLayer, partVerts, cfg, o, npc, synCap, ar)
 	grp.moves += moves
 	if cfg.Obs.Enabled() {
 		cfg.Obs.Counter("multilevel.refine", obs.KV{K: "level", V: float64(len(levels) - 1)}, obs.KV{K: "moves", V: float64(moves)})
@@ -506,7 +514,7 @@ func multilevelGroup(base *gLevel, total int64, cfg PartitionConfig, o Multileve
 		for _, p := range partOf {
 			partVerts[p]++
 		}
-		moves = refineLevel(finer, partOf, partN, partS, partLayer, partVerts, cfg, o, npc, synCap)
+		moves = refineLevel(finer, partOf, partN, partS, partLayer, partVerts, cfg, o, npc, synCap, ar)
 		grp.moves += moves
 		if cfg.Obs.Enabled() {
 			cfg.Obs.Counter("multilevel.refine", obs.KV{K: "level", V: float64(li)}, obs.KV{K: "moves", V: float64(moves)})
@@ -666,14 +674,20 @@ func greedyPartition(lv *gLevel, cfg PartitionConfig, npc int, synCap int64) ([]
 // the capacity and layer constraints. Candidate parts are examined in
 // neighbor order with strict-improvement ties, so the outcome does not
 // depend on map iteration order or worker count. Occupancy arrays are
-// mutated in place; the returned count is the number of moves applied.
-func refineLevel(lv *gLevel, partOf []int32, partN []int32, partS []int64, partLayer []int32, partVerts []int32, cfg PartitionConfig, o MultilevelOptions, npc int, synCap int64) int64 {
+// mutated in place; the returned count is the number of moves applied. ar
+// recycles the gain/seen scratch across levels (nil allocates fresh): the
+// part count is constant through the uncoarsening walk, and the
+// candidate-list reset leaves both buffers all-zero between calls.
+func refineLevel(lv *gLevel, partOf []int32, partN []int32, partS []int64, partLayer []int32, partVerts []int32, cfg PartitionConfig, o MultilevelOptions, npc int, synCap int64, ar *levelArena) int64 {
+	if ar == nil {
+		ar = &levelArena{}
+	}
 	n := len(lv.neurons)
 	// Dense gain scratch indexed by part: gain[d] accumulates v's edge weight
 	// into part d, seen[d] keeps the candidate list duplicate-free, and both
 	// are reset via cand after each vertex — no per-vertex map traffic.
-	gain := make([]float64, len(partN))
-	seen := make([]bool, len(partN))
+	gain := grabF64(&ar.gain, len(partN))
+	seen := grabBool(&ar.seen, len(partN))
 	cand := make([]int32, 0, 16)
 	var moves int64
 	for pass := 0; pass < o.RefinePasses; pass++ {

@@ -232,7 +232,7 @@ func TestHeavyEdgeMatchInvariants(t *testing.T) {
 	u := p.Undirected()
 	var base []int32
 	for _, workers := range []int{1, 3, 8} {
-		match := heavyEdgeMatch(u, p.Neurons, p.Synapses, p.Layer, 48, 600, true, 8, workers)
+		match := heavyEdgeMatch(u, p.Neurons, p.Synapses, p.Layer, 48, 600, true, 8, workers, nil)
 		if base == nil {
 			base = match
 		} else if !reflect.DeepEqual(base, match) {
@@ -275,8 +275,8 @@ func TestContractConservesTotals(t *testing.T) {
 	}
 	p := fine.PCN
 	lv := &gLevel{u: p.Undirected(), neurons: p.Neurons, synapses: p.Synapses, layer: p.Layer}
-	match := heavyEdgeMatch(lv.u, lv.neurons, lv.synapses, lv.layer, 48, 600, true, 8, 2)
-	coarse, internal := contract(lv, match, 2)
+	match := heavyEdgeMatch(lv.u, lv.neurons, lv.synapses, lv.layer, 48, 600, true, 8, 2, nil)
+	coarse, internal := contract(lv, match, 2, nil)
 
 	var fineN, coarseN int64
 	var fineS, coarseS int64

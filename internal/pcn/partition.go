@@ -24,6 +24,11 @@ type PartitionConfig struct {
 	// coarsen–partition–uncoarsen scheme (multilevel.go). Nil keeps the
 	// paper's flat Algorithm 1 pipeline.
 	Multilevel *MultilevelOptions
+	// Workers fans the expander's per-cluster CSR sort out over up to this
+	// many goroutines (0 or 1 = sequential). Like MultilevelOptions.Workers
+	// it is bit-identity-preserving: cluster buckets are disjoint and the
+	// merge pass runs in cluster order regardless of the count.
+	Workers int
 	// Obs receives phase spans and per-level counters; nil disables
 	// telemetry. Observe-only: it never affects the partition produced.
 	Obs *obs.Observer

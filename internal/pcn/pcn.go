@@ -302,23 +302,40 @@ func buildCSR(p *PCN, from, to []int32, w []float64) {
 		bucketTo[pos] = to[k]
 		bucketW[pos] = w[k]
 	}
+	finalizeCSR(p, counts, bucketTo, bucketW, 1)
+}
+
+// finalizeCSR turns source-bucketed edge arrays — cluster i's edges occupy
+// [counts[i], counts[i+1]) of to/w, in any order — into the PCN's merged CSR:
+// each bucket is sorted by target and duplicates are merged in place by
+// summing weights. The buckets are disjoint slices, so the sort phase fans
+// out over workers goroutines (1 = inline); the result is bit-identical at
+// any worker count. The compaction pass then walks buckets in cluster order.
+// The streaming expander calls this directly with exact-sized arrays,
+// avoiding buildCSR's edge-list and double-buffer copies.
+func finalizeCSR(p *PCN, counts []int64, to []int32, w []float64, workers int) {
+	n := p.NumClusters
+	runMatchChunks(workers, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sortEdges(to[counts[i]:counts[i+1]], w[counts[i]:counts[i+1]])
+		}
+	})
 	p.OutOff = make([]int64, n+1)
 	var write int64
 	for i := 0; i < n; i++ {
 		p.OutOff[i] = write
 		lo, hi := counts[i], counts[i+1]
-		sortEdges(bucketTo[lo:hi], bucketW[lo:hi])
 		for k := lo; k < hi; k++ {
-			if write > p.OutOff[i] && bucketTo[write-1] == bucketTo[k] {
-				bucketW[write-1] += bucketW[k]
+			if write > p.OutOff[i] && to[write-1] == to[k] {
+				w[write-1] += w[k]
 				continue
 			}
-			bucketTo[write] = bucketTo[k]
-			bucketW[write] = bucketW[k]
+			to[write] = to[k]
+			w[write] = w[k]
 			write++
 		}
 	}
 	p.OutOff[n] = write
-	p.OutTo = bucketTo[:write]
-	p.OutW = bucketW[:write]
+	p.OutTo = to[:write]
+	p.OutW = w[:write]
 }

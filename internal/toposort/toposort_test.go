@@ -160,6 +160,57 @@ func TestSortPermutationProperty(t *testing.T) {
 	}
 }
 
+// TestSortFastPathMatchesHeap pins the monotone identity fast path to the
+// retained Kahn-heap oracle on random graphs — both the graphs that take the
+// fast path (forward-only edges) and the ones that fall back.
+func TestSortFastPathMatchesHeap(t *testing.T) {
+	f := func(seed int64, forwardOnly bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 1
+		var b snn.GraphBuilder
+		b.AddNeurons(n, -1)
+		for e := 0; e < rng.Intn(3*n); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if forwardOnly && u > v {
+				u, v = v, u
+			}
+			if u != v {
+				b.AddSynapse(u, v, 1)
+			}
+		}
+		res, err := pcn.Partition(b.Build(), pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+		if err != nil {
+			return false
+		}
+		got, want := Sort(res.PCN), sortHeap(res.PCN)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	if !Monotone(chainPCN(t, 6)) {
+		t.Fatal("chain PCN must be monotone")
+	}
+	var b snn.GraphBuilder
+	b.AddNeurons(3, -1)
+	b.AddSynapse(2, 0, 1)
+	res, err := pcn.Partition(b.Build(), pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Monotone(res.PCN) {
+		t.Fatal("backward edge must break monotonicity")
+	}
+}
+
 func TestSortDeterminism(t *testing.T) {
 	g := snn.FullyConnected(4, 3)
 	res, err := pcn.Partition(g, pcn.PartitionConfig{Constraints: hw.Constraints{NeuronsPerCore: 2}})
